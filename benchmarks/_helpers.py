@@ -1,0 +1,35 @@
+"""Shared plumbing for the figure-reproduction benchmarks.
+
+Every benchmark runs its experiment exactly once (``rounds=1``): the
+experiments are deterministic simulations, so repeated rounds would only
+re-measure the same computation.  Each benchmark prints the paper-shaped
+table (visible with ``pytest benchmarks/ --benchmark-only -s``) and asserts
+the qualitative shape the paper reports; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+
+Set ``REPRO_PAPER_SCALE=1`` to run at the paper's full scale (N = 100,
+25 s simulations) -- slower, but the same harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, experiment_fn, *args, **kwargs):
+    """Execute ``experiment_fn`` under pytest-benchmark, once."""
+    result = benchmark.pedantic(
+        experiment_fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    return result
+
+
+def curve_pairs(result, name):
+    """(x, y) pairs of one curve, Nones skipped."""
+    return [
+        (x, y)
+        for x, y in zip(result.x_values, result.curves[name])
+        if y is not None
+    ]

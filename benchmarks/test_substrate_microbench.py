@@ -1,0 +1,121 @@
+"""Microbenchmarks of the substrate hot paths.
+
+Unlike the figure benchmarks (single-shot simulations), these measure raw
+throughput of the pieces the simulation spends its time in, with proper
+repeated rounds -- useful when optimizing the simulator itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.pubsub.cache import EventCache
+from repro.pubsub.pattern import PatternSpace
+from repro.scenarios.builder import Simulation
+from repro.scenarios.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.topology.generator import bushy_tree
+from tests.conftest import make_event
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule+dispatch cost of the bare event loop."""
+
+    def run_events():
+        sim = Simulator()
+        count = 20_000
+
+        def noop():
+            pass
+
+        for i in range(count):
+            sim.schedule(i * 1e-6, noop)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run_events)
+    assert processed == 20_000
+
+
+def test_cache_insert_lookup_throughput(benchmark):
+    """FIFO cache at the default β with all three indexes live."""
+    events = [
+        make_event(source=i % 7, seq=i + 1, patterns=(i % 11, 11 + i % 13),
+                   pattern_seqs={i % 11: i + 1, 11 + i % 13: i + 1})
+        for i in range(5_000)
+    ]
+
+    def churn():
+        cache = EventCache(1500)
+        hits = 0
+        for event in events:
+            cache.insert(event)
+        for event in events:
+            if cache.get(event.event_id) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(churn)
+    assert hits == 1500
+
+
+def test_route_oracle_rebuild(benchmark):
+    """Full subscription-table rebuild at paper scale (the reconfiguration
+    hot path)."""
+    config = SimulationConfig(sim_time=1.0, measure_start=0.1, measure_end=0.9)
+    simulation = Simulation(config)
+
+    rebuilds = benchmark(simulation.system.rebuild_routes)
+
+
+def test_event_publish_routing(benchmark):
+    """End-to-end cost of publishing events through a 100-node overlay
+    with reliable links (routing + delivery, no recovery)."""
+    config = SimulationConfig(
+        algorithm="none",
+        error_rate=0.0,
+        publish_rate=50.0,
+        sim_time=1.0,
+        measure_start=0.1,
+        measure_end=0.9,
+    )
+
+    def run_second():
+        simulation = Simulation(config)
+        result = simulation.run()
+        return result.events_published
+
+    published = benchmark.pedantic(run_second, rounds=3, iterations=1)
+    assert published > 3_000
+
+
+def test_tree_generation(benchmark):
+    rng = random.Random(7)
+
+    def build():
+        return bushy_tree(200, rng, max_degree=4)
+
+    tree = benchmark(build)
+    assert tree.node_count == 200
+
+
+def test_matching_throughput(benchmark):
+    """Subscription-table matching over a realistic table."""
+    from repro.pubsub.subscription import SubscriptionTable
+
+    rng = random.Random(3)
+    space = PatternSpace(70)
+    table = SubscriptionTable()
+    for pattern in range(70):
+        for direction in rng.sample(range(4), rng.randint(1, 3)):
+            table.add(pattern, direction)
+    contents = [space.sample_event_patterns(rng) for _ in range(2_000)]
+
+    def match_all():
+        total = 0
+        for patterns in contents:
+            total += len(table.matching_directions(patterns))
+        return total
+
+    total = benchmark(match_all)
+    assert total > 0

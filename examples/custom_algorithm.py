@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Extending the library: plug in your own recovery algorithm.
+
+The recovery interface is small: subclass
+:class:`~repro.recovery.base.RecoveryAlgorithm` (or
+:class:`~repro.recovery.pull_base.PullRecoveryBase` for loss-detecting
+variants), implement ``gossip_round`` and ``handle_gossip``, register the
+class, and every scenario/benchmark in the repository can run it by name.
+
+The example implements **eager pull**: a pull variant that does not wait
+for the next gossip round -- it gossips immediately upon detecting a loss
+(and then keeps the periodic rounds as a safety net).  It trades extra
+messages for lower recovery latency; the script compares it against the
+paper's subscriber-based pull.
+
+Usage::
+
+    python examples/custom_algorithm.py
+"""
+
+from __future__ import annotations
+
+from repro import ALGORITHMS, SimulationConfig, run_scenario
+from repro.recovery.digest import SubscriberPullGossip
+from repro.recovery.pull_base import PullRecoveryBase
+
+
+class EagerPullRecovery(PullRecoveryBase):
+    """Subscriber-based pull that also fires immediately on detection."""
+
+    name = "eager-pull"
+
+    def on_event_received(self, event, route):
+        before = self.detector.pending()
+        super().on_event_received(event, route)
+        if self.detector.pending() > before:
+            # New losses detected: pull right now instead of waiting for
+            # the timer (the periodic round still runs as a retry path).
+            self._eager_pull()
+
+    def _eager_pull(self) -> None:
+        now = self.dispatcher.sim.now
+        for pattern in self.detector.patterns_with_losses(now):
+            entries = tuple(
+                self.detector.entries_for_pattern(pattern, self.config.digest_limit)
+            )
+            payload = SubscriberPullGossip(self.node_id, pattern, entries)
+            self.forward_along_pattern(pattern, payload, exclude=None)
+
+    def gossip_round(self) -> None:
+        if not self.subscriber_round():
+            self.stats.rounds_skipped += 1
+
+
+def main() -> None:
+    # Registration makes the new algorithm a first-class citizen: the
+    # scenario builder, CLI, and sweeps all accept it by name.
+    ALGORITHMS[EagerPullRecovery.name] = EagerPullRecovery
+
+    base = SimulationConfig(
+        n_dispatchers=50,
+        n_patterns=35,
+        publish_rate=50.0,
+        error_rate=0.1,
+        sim_time=7.0,
+        measure_start=1.0,
+        measure_end=3.5,
+        buffer_size=1000,
+        seed=3,
+    )
+    for algorithm in ("subscriber-pull", "eager-pull"):
+        result = run_scenario(base.replace(algorithm=algorithm))
+        print(
+            f"{algorithm:>16s}: delivery {result.delivery_rate:6.1%}, "
+            f"mean recovery-inclusive latency {result.delivery.mean_latency*1000:6.1f} ms, "
+            f"gossip/event ratio {result.gossip_event_ratio:5.1%}"
+        )
+    print(
+        "\nEager pull recovers faster (lower latency) at the price of more"
+        " gossip\ntraffic -- the kind of variant the framework makes a"
+        " ten-line experiment."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Mobility scenario: recover events lost during overlay reconfiguration.
+
+This is the scenario that motivated the paper (Section I): the dispatching
+tree is continuously reconfigured -- as in a mobile or peer-to-peer setting
+-- and events in flight across a breaking link are lost even though the
+links themselves are reliable.
+
+The script reproduces the structure of Figure 3(b): it runs the
+non-overlapping (rho = 0.2 s) and overlapping (rho = 0.03 s) regimes and
+prints, per algorithm, the aggregate delivery rate and the *worst* 0.1 s
+bin of the delivery time series (the depth of the reconfiguration spikes),
+plus an ASCII rendering of the no-recovery vs combined-pull time series.
+
+Usage::
+
+    python examples/mobile_reconfiguration.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_scenario
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.tables import format_table
+
+
+def run_regime(interval: float) -> None:
+    base = SimulationConfig(
+        n_dispatchers=50,
+        n_patterns=35,
+        publish_rate=50.0,
+        error_rate=0.0,  # links are reliable; loss comes from churn
+        reconfiguration_interval=interval,
+        repair_delay=0.1,
+        buffer_size=1000,
+        sim_time=8.0,
+        measure_start=1.0,
+        measure_end=5.0,
+        seed=11,
+    )
+    kind = "overlapping" if interval < base.repair_delay else "non-overlapping"
+    print(f"\n=== rho = {interval}s ({kind} reconfigurations) ===")
+
+    rows = []
+    series = {}
+    for algorithm in ("none", "subscriber-pull", "push", "combined-pull"):
+        result = run_scenario(base.replace(algorithm=algorithm))
+        window = result.series.clipped(base.measure_start, base.effective_measure_end)
+        rows.append(
+            (
+                algorithm,
+                f"{result.delivery_rate:.3f}",
+                f"{window.min_value():.3f}",
+                result.reconfigurations,
+            )
+        )
+        if algorithm in ("none", "combined-pull"):
+            series[algorithm] = window.defined()
+    print(
+        format_table(
+            ["algorithm", "delivery", "worst 0.1s bin", "reconfigurations"], rows
+        )
+    )
+    print()
+    print(
+        ascii_chart(
+            series,
+            title="delivery rate vs publish time (o = none, x = combined-pull)",
+            y_min=0.0,
+            y_max=1.0,
+            height=12,
+        )
+    )
+
+
+def main() -> None:
+    print("Reliable links, reconfiguring overlay (Figure 3(b) scenario).")
+    run_regime(0.2)
+    run_regime(0.03)
+    print(
+        "\nRecovery levels out the spikes that reconfigurations carve into"
+        " delivery:\nthe combined pull curve stays near 1.0 while the"
+        " baseline dips after each break."
+    )
+
+
+if __name__ == "__main__":
+    main()

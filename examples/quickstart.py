@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: lose events on a lossy overlay, recover them with gossip.
+
+Runs the paper's default scenario at a laptop-friendly scale, once without
+recovery and once with the combined pull algorithm, and prints the
+before/after delivery rates -- the headline result of the paper in ~20
+seconds of wall-clock.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_scenario
+
+
+def main() -> None:
+    base = SimulationConfig(
+        n_dispatchers=50,  # N (paper: 100)
+        n_patterns=35,  # Pi, keeping N*pi_max/Pi = 2.86 like the paper
+        pi_max=2,  # patterns per subscriber
+        publish_rate=50.0,  # high publishing load
+        error_rate=0.1,  # eps: every link transmission lost w.p. 10%
+        buffer_size=1000,  # beta: events cached per dispatcher
+        gossip_interval=0.03,  # T: seconds between gossip rounds
+        sim_time=8.0,
+        measure_start=1.0,
+        measure_end=4.0,
+        seed=7,
+    )
+
+    print("Scenario: 50 dispatchers on a degree-<=4 tree, 10 Mbit/s links,")
+    print(f"link error rate {base.error_rate}, {base.publish_rate:.0f} publish/s each.\n")
+
+    for algorithm in ("none", "combined-pull", "push"):
+        result = run_scenario(base.replace(algorithm=algorithm))
+        recovered = result.delivery.recovered
+        print(
+            f"{algorithm:>14s}: delivery rate {result.delivery_rate:6.1%}"
+            f"   (recovered {recovered} deliveries,"
+            f" gossip overhead {result.gossip_event_ratio:5.1%} of event traffic)"
+        )
+
+    print(
+        "\nThe epidemic algorithms turn a best-effort dispatcher into a"
+        " reliable one\nat a bandwidth overhead of a few tens of percent --"
+        " Figure 3(a) of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Tuning the gossip knobs: the delivery/overhead trade-off.
+
+Section IV-C of the paper: the gossip interval T and the buffer size β are
+the levers an operator tunes.  This script sweeps both for the combined
+pull algorithm (the paper's Figure 5) and prints the resulting
+delivery/overhead frontier so you can pick an operating point.
+
+Usage::
+
+    python examples/tuning_gossip.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_scenario
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    base = SimulationConfig(
+        n_dispatchers=50,
+        n_patterns=35,
+        publish_rate=50.0,
+        error_rate=0.1,
+        algorithm="combined-pull",
+        sim_time=7.0,
+        measure_start=1.0,
+        measure_end=3.5,
+        seed=21,
+    )
+
+    rows = []
+    for beta in (200, 600, 1200):
+        for interval in (0.01, 0.03, 0.06):
+            config = base.replace(buffer_size=beta, gossip_interval=interval)
+            result = run_scenario(config)
+            rows.append(
+                (
+                    beta,
+                    f"{config.estimated_persistence():.1f}s",
+                    interval,
+                    f"{result.delivery_rate:.3f}",
+                    f"{result.gossip_per_dispatcher:.0f}",
+                    f"{result.gossip_event_ratio:.3f}",
+                )
+            )
+    print(
+        format_table(
+            [
+                "beta",
+                "persistence",
+                "T",
+                "delivery",
+                "gossip/disp",
+                "gossip/event",
+            ],
+            rows,
+            title="Combined pull: delivery vs overhead across (beta, T)",
+        )
+    )
+    print(
+        "\nReading the frontier: a bigger buffer compensates for a slower"
+        " gossip\nrate (Figure 5); past a threshold, extra buffer stops"
+        " helping.  Overhead\nscales with 1/T, so pick the largest T that"
+        " still meets your delivery\ntarget, then size beta to match."
+    )
+
+
+if __name__ == "__main__":
+    main()

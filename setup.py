@@ -1,0 +1,7 @@
+"""Thin shim for legacy editable installs (offline environments without
+the ``wheel`` package cannot build PEP 660 editable wheels).  All project
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

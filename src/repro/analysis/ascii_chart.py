@@ -1,0 +1,67 @@
+"""Minimal ASCII line charts (the offline stand-in for the paper's plots)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[Tuple[float, Optional[float]]]],
+    width: int = 72,
+    height: int = 18,
+    title: Optional[str] = None,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Plot named ``(x, y)`` series on a character grid.
+
+    ``None`` y-values are skipped.  Each series gets a marker character;
+    the legend maps markers back to names.
+    """
+    points = {
+        name: [(x, y) for x, y in samples if y is not None]
+        for name, samples in series.items()
+    }
+    all_points = [p for samples in points.values() for p in samples]
+    if not all_points:
+        return (title or "") + "\n(no data)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low = min(ys) if y_min is None else y_min
+    y_high = max(ys) if y_max is None else y_max
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, samples) in enumerate(points.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in samples:
+            col = int((x - x_low) / (x_high - x_low) * (width - 1))
+            row = int((y - y_low) / (y_high - y_low) * (height - 1))
+            row = height - 1 - max(0, min(height - 1, row))
+            col = max(0, min(width - 1, col))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_high:10.3f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_low:10.3f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_low:<12.4g}" + " " * max(0, width - 24) + f"{x_high:>12.4g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(points)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

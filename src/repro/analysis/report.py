@@ -1,0 +1,51 @@
+"""Assemble experiment results into a Markdown report.
+
+Used by ``repro-pubsub report`` (the CLI) to regenerate an
+EXPERIMENTS.md-style document from live runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["ExperimentReport"]
+
+
+class ExperimentReport:
+    """Accumulates experiment results and renders Markdown."""
+
+    def __init__(self, title: str, preamble: str = "") -> None:
+        self.title = title
+        self.preamble = preamble
+        self._sections: List[str] = []
+
+    def add_experiment(self, result, paper_says: str = "", verdict: str = "") -> None:
+        """Append one experiment section.
+
+        ``result`` is an :class:`~repro.scenarios.experiments.ExperimentResult`;
+        ``paper_says`` summarizes the paper's claim; ``verdict`` states what
+        we measured relative to it.
+        """
+        lines = [f"## {result.experiment_id} — {result.title}", ""]
+        if paper_says:
+            lines += [f"**Paper:** {paper_says}", ""]
+        lines += ["```", result.to_table(), "```", ""]
+        if result.notes:
+            lines += [result.notes, ""]
+        if verdict:
+            lines += [f"**Measured:** {verdict}", ""]
+        self._sections.append("\n".join(lines))
+
+    def add_text(self, text: str) -> None:
+        self._sections.append(text)
+
+    def to_markdown(self) -> str:
+        parts = [f"# {self.title}", ""]
+        if self.preamble:
+            parts += [self.preamble, ""]
+        parts.extend(self._sections)
+        return "\n".join(parts)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_markdown())

@@ -1,0 +1,61 @@
+"""Aligned text tables for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series_table"]
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[Optional[float]]],
+    title: Optional[str] = None,
+) -> str:
+    """Render several named series against a shared x axis.
+
+    This is the textual equivalent of one of the paper's charts: one row
+    per x value, one column per curve.
+    """
+    headers = [x_label] + list(series)
+    rows: List[List[Any]] = []
+    for index, x in enumerate(x_values):
+        row: List[Any] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else None)
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+::
+
+    repro-pubsub run   [--algorithm X] [--error-rate E] [--n N] ...
+    repro-pubsub compare [--error-rate E] ...
+    repro-pubsub figure {3a,3b,4-buffer,4-interval,5,6,7,8,9a,9b,10}
+    repro-pubsub list-algorithms
+
+``run`` executes one scenario and prints its summary; ``compare`` runs all
+six paper algorithms on the same scenario; ``figure`` regenerates one of
+the paper's figures (table + ASCII chart).  ``REPRO_PAPER_SCALE=1`` in the
+environment switches the figures to the paper's full scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import ALGORITHMS, PAPER_ALGORITHMS, SimulationConfig, run_scenario
+from repro.analysis.tables import format_table
+from repro.scenarios import experiments
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pubsub",
+        description=(
+            "Reproduction of 'Epidemic Algorithms for Reliable Content-Based "
+            "Publish-Subscribe: An Evaluation' (ICDCS 2004)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one scenario")
+    _add_scenario_arguments(run_parser)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run every paper algorithm on one scenario"
+    )
+    _add_scenario_arguments(compare_parser, with_algorithm=False)
+
+    figure_parser = subparsers.add_parser(
+        "figure", help="regenerate one of the paper's figures"
+    )
+    figure_parser.add_argument(
+        "which",
+        choices=["3a", "3b", "4-buffer", "4-interval", "5", "6", "7", "8", "9a", "9b", "10"],
+    )
+    figure_parser.add_argument(
+        "--chart", action="store_true", help="also draw an ASCII chart"
+    )
+
+    subparsers.add_parser("list-algorithms", help="list recovery algorithms")
+    return parser
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser, with_algorithm=True):
+    if with_algorithm:
+        parser.add_argument(
+            "--algorithm", default="combined-pull", choices=sorted(ALGORITHMS)
+        )
+    parser.add_argument("--n", type=int, default=50, help="number of dispatchers")
+    parser.add_argument("--patterns", type=int, default=35, help="pattern universe Π")
+    parser.add_argument("--pi-max", type=int, default=2)
+    parser.add_argument("--error-rate", type=float, default=0.1)
+    parser.add_argument("--publish-rate", type=float, default=50.0)
+    parser.add_argument("--buffer-size", type=int, default=800)
+    parser.add_argument("--gossip-interval", type=float, default=0.03)
+    parser.add_argument("--sim-time", type=float, default=8.0)
+    parser.add_argument(
+        "--reconfiguration-interval",
+        type=float,
+        default=None,
+        help="rho; omit for a stable topology",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _config_from_args(args, algorithm: Optional[str] = None) -> SimulationConfig:
+    return SimulationConfig(
+        n_dispatchers=args.n,
+        n_patterns=args.patterns,
+        pi_max=args.pi_max,
+        error_rate=args.error_rate,
+        publish_rate=args.publish_rate,
+        buffer_size=args.buffer_size,
+        gossip_interval=args.gossip_interval,
+        sim_time=args.sim_time,
+        measure_start=min(1.0, args.sim_time / 4),
+        reconfiguration_interval=args.reconfiguration_interval,
+        algorithm=algorithm or args.algorithm,
+        seed=args.seed,
+    )
+
+
+def _print_result(result) -> None:
+    rows = [
+        ("algorithm", result.config.algorithm),
+        ("delivery rate", f"{result.delivery_rate:.4f}"),
+        ("baseline rate", f"{result.baseline_rate:.4f}"),
+        ("events published", result.events_published),
+        ("losses detected", result.losses_detected),
+        ("losses recovered", result.losses_recovered),
+        ("gossip msgs / dispatcher", f"{result.gossip_per_dispatcher:.1f}"),
+        ("gossip / event ratio", f"{result.gossip_event_ratio:.4f}"),
+        ("out-of-band messages", result.oob_messages),
+        ("reconfigurations", result.reconfigurations),
+        ("tree diameter", result.tree_diameter),
+        ("wall-clock seconds", f"{result.wall_clock_seconds:.1f}"),
+    ]
+    print(format_table(["metric", "value"], rows))
+
+
+_FIGURES = {
+    "3a": lambda: experiments.fig3a_lossy_delivery(),
+    "3b": lambda: experiments.fig3b_reconfiguration(),
+    "4-buffer": lambda: experiments.fig4_buffer_sweep(),
+    "4-interval": lambda: experiments.fig4_interval_sweep(),
+    "5": lambda: experiments.fig5_interval_buffer_grid(),
+    "6": lambda: experiments.fig6_scalability(),
+    "7": lambda: experiments.fig7_receivers_per_event(),
+    "8": lambda: experiments.fig8_patterns_delivery(),
+    "9a": lambda: experiments.fig9a_overhead_scale(),
+    "9b": lambda: experiments.fig9b_overhead_patterns(),
+    "10": lambda: experiments.fig10_overhead_error_rate(),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-algorithms":
+        for name in sorted(ALGORITHMS):
+            cls = ALGORITHMS[name]
+            doc = (cls.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:18s} {doc}")
+        return 0
+    if args.command == "run":
+        _print_result(run_scenario(_config_from_args(args)))
+        return 0
+    if args.command == "compare":
+        rows = []
+        for algorithm in PAPER_ALGORITHMS:
+            result = run_scenario(_config_from_args(args, algorithm=algorithm))
+            rows.append(
+                (
+                    algorithm,
+                    f"{result.delivery_rate:.4f}",
+                    f"{result.baseline_rate:.4f}",
+                    f"{result.gossip_per_dispatcher:.0f}",
+                    f"{result.gossip_event_ratio:.4f}",
+                )
+            )
+        print(
+            format_table(
+                ["algorithm", "delivery", "baseline", "gossip/disp", "gossip/event"],
+                rows,
+            )
+        )
+        return 0
+    if args.command == "figure":
+        result = _FIGURES[args.which]()
+        print(result.to_table())
+        if args.chart:
+            print()
+            print(result.to_chart())
+        return 0
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

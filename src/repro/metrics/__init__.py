@@ -1,0 +1,26 @@
+"""Measurement: delivery rates, traffic counters, time series.
+
+The paper's two headline metrics are implemented here:
+
+* **delivery rate** (Section IV-B): "the ratio between the number of events
+  correctly received by a process and those that would be received in a
+  fully reliable scenario" -- :class:`~repro.metrics.delivery.DeliveryTracker`
+  computes it from ground-truth expected recipients, both aggregate and as
+  a time series binned by publish time;
+* **overhead** (Section IV-E): gossip messages sent per dispatcher and the
+  gossip/event message ratio --
+  :class:`~repro.metrics.counters.MessageCounters` observes every
+  transmission on the network.
+"""
+
+from repro.metrics.counters import MessageCounters
+from repro.metrics.delivery import DeliveryTracker, DeliveryStats
+from repro.metrics.timeseries import TimeSeries, bin_series
+
+__all__ = [
+    "MessageCounters",
+    "DeliveryTracker",
+    "DeliveryStats",
+    "TimeSeries",
+    "bin_series",
+]

@@ -1,0 +1,160 @@
+"""Message-traffic accounting.
+
+:class:`MessageCounters` implements the network's ``TrafficObserver`` hook:
+every transmission attempt, drop, and delivery is tallied per
+:class:`~repro.network.message.MessageKind`, and gossip/event sends are
+additionally tallied per dispatcher (the paper reports "the number of
+gossip messages sent by each dispatcher").
+
+What counts as what (Section IV-E):
+
+* *event messages*: every per-link transmission of a published event;
+* *gossip messages*: every per-link transmission of a gossip digest --
+  every hop counts, exactly like event messages, so the two are comparable;
+* the out-of-band request/retransmission traffic is tallied separately and
+  reported alongside (the paper's overhead figures consider gossip
+  messages; we expose the full breakdown).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.network.message import MessageKind
+
+__all__ = ["MessageCounters"]
+
+_KIND_COUNT = max(MessageKind) + 1
+
+
+class MessageCounters:
+    """Per-kind and per-node traffic counters.
+
+    Parameters
+    ----------
+    node_count:
+        Number of dispatchers (for the per-node tallies).
+    """
+
+    def __init__(self, node_count: int) -> None:
+        if node_count <= 0:
+            raise ValueError(f"node_count must be positive, got {node_count}")
+        self.node_count = node_count
+        self._sent = [0] * _KIND_COUNT
+        self._dropped = [0] * _KIND_COUNT
+        self._delivered = [0] * _KIND_COUNT
+        self._gossip_by_node = [0] * node_count
+        self._events_by_node = [0] * node_count
+        self._oob_by_node = [0] * node_count
+        self._gossip_kind = int(MessageKind.GOSSIP)
+        self._event_kind = int(MessageKind.EVENT)
+        self._oob_kinds = (int(MessageKind.OOB_REQUEST), int(MessageKind.OOB_EVENT))
+
+    # ------------------------------------------------------------------
+    # TrafficObserver interface (hot path)
+    # ------------------------------------------------------------------
+    def count_send(self, kind: MessageKind, node_id: int) -> None:
+        kind_index = int(kind)
+        self._sent[kind_index] += 1
+        if kind_index == self._gossip_kind:
+            self._gossip_by_node[node_id] += 1
+        elif kind_index == self._event_kind:
+            self._events_by_node[node_id] += 1
+        elif kind_index in self._oob_kinds:
+            self._oob_by_node[node_id] += 1
+
+    def count_drop(self, kind: MessageKind) -> None:
+        self._dropped[int(kind)] += 1
+
+    def count_deliver(self, kind: MessageKind) -> None:
+        self._delivered[int(kind)] += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def sent(self, kind: MessageKind) -> int:
+        return self._sent[int(kind)]
+
+    def dropped(self, kind: MessageKind) -> int:
+        return self._dropped[int(kind)]
+
+    def delivered(self, kind: MessageKind) -> int:
+        return self._delivered[int(kind)]
+
+    @property
+    def event_messages(self) -> int:
+        """Total per-link event transmissions in the system."""
+        return self._sent[self._event_kind]
+
+    @property
+    def gossip_messages(self) -> int:
+        """Total per-link gossip transmissions in the system."""
+        return self._sent[self._gossip_kind]
+
+    @property
+    def oob_messages(self) -> int:
+        """Out-of-band traffic: requests plus retransmissions."""
+        return (
+            self._sent[int(MessageKind.OOB_REQUEST)]
+            + self._sent[int(MessageKind.OOB_EVENT)]
+        )
+
+    def gossip_per_dispatcher(self) -> float:
+        """Mean gossip messages sent per dispatcher (Fig 9, left charts)."""
+        return self.gossip_messages / self.node_count
+
+    def gossip_event_ratio(self) -> float:
+        """Gossip / event message ratio (Fig 9, right charts).
+
+        Returns 0.0 when no event traffic exists (degenerate scenarios).
+        """
+        if self.event_messages == 0:
+            return 0.0
+        return self.gossip_messages / self.event_messages
+
+    def gossip_by_node(self) -> List[int]:
+        return list(self._gossip_by_node)
+
+    def events_by_node(self) -> List[int]:
+        return list(self._events_by_node)
+
+    def oob_by_node(self) -> List[int]:
+        return list(self._oob_by_node)
+
+    def recovery_load_skew(self) -> float:
+        """max/mean of per-node recovery traffic (gossip + out-of-band).
+
+        The epidemic algorithms' selling point is a flat profile (skew
+        near 1); publisher-centric acknowledgment schemes concentrate
+        load (skew ≫ 1).  Returns 0.0 when there is no recovery traffic.
+        """
+        per_node = [
+            g + o for g, o in zip(self._gossip_by_node, self._oob_by_node)
+        ]
+        total = sum(per_node)
+        if total == 0:
+            return 0.0
+        mean = total / self.node_count
+        return max(per_node) / mean
+
+    def loss_rate(self, kind: MessageKind) -> float:
+        """Observed per-transmission drop fraction for a message kind."""
+        sent = self._sent[int(kind)]
+        if sent == 0:
+            return 0.0
+        return self._dropped[int(kind)] / sent
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flat dictionary of all counters (for reports and tests)."""
+        result: Dict[str, int] = {}
+        for kind in MessageKind:
+            result[f"sent_{kind.name.lower()}"] = self._sent[int(kind)]
+            result[f"dropped_{kind.name.lower()}"] = self._dropped[int(kind)]
+            result[f"delivered_{kind.name.lower()}"] = self._delivered[int(kind)]
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MessageCounters events={self.event_messages} "
+            f"gossip={self.gossip_messages} oob={self.oob_messages}>"
+        )

@@ -1,0 +1,92 @@
+"""Small time-series container used by the delivery metrics and reports."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["TimeSeries", "bin_series"]
+
+
+class TimeSeries:
+    """Aligned ``(time, value)`` samples; values may be ``None`` (no data).
+
+    Supports the handful of operations the analysis layer needs: iteration,
+    min/mean over defined values, and pretty formatting.
+    """
+
+    def __init__(self, times: Sequence[float], values: Sequence[Optional[float]]) -> None:
+        if len(times) != len(values):
+            raise ValueError(
+                f"times and values must align: {len(times)} vs {len(values)}"
+            )
+        self.times = list(times)
+        self.values = list(values)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def defined(self) -> List[Tuple[float, float]]:
+        """The samples that actually carry data."""
+        return [(t, v) for t, v in zip(self.times, self.values) if v is not None]
+
+    def min_value(self) -> Optional[float]:
+        defined = [v for v in self.values if v is not None]
+        return min(defined) if defined else None
+
+    def max_value(self) -> Optional[float]:
+        defined = [v for v in self.values if v is not None]
+        return max(defined) if defined else None
+
+    def mean_value(self) -> Optional[float]:
+        defined = [v for v in self.values if v is not None]
+        if not defined:
+            return None
+        return sum(defined) / len(defined)
+
+    def clipped(self, start: float, end: float) -> "TimeSeries":
+        """Sub-series with ``start <= time < end``."""
+        pairs = [
+            (t, v) for t, v in zip(self.times, self.values) if start <= t < end
+        ]
+        return TimeSeries([t for t, _ in pairs], [v for _, v in pairs])
+
+    def map(self, fn: Callable[[float], float]) -> "TimeSeries":
+        return TimeSeries(
+            self.times,
+            [None if v is None else fn(v) for v in self.values],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mean = self.mean_value()
+        mean_text = f"{mean:.3f}" if mean is not None else "n/a"
+        return f"<TimeSeries n={len(self.times)} mean={mean_text}>"
+
+
+def bin_series(
+    samples: Iterable[Tuple[float, float]],
+    bin_width: float,
+    start: float,
+    end: float,
+    reducer: Callable[[List[float]], float] = lambda xs: sum(xs) / len(xs),
+) -> TimeSeries:
+    """Bin raw ``(time, value)`` samples into a :class:`TimeSeries`.
+
+    ``reducer`` folds each bin's values (mean by default); empty bins yield
+    ``None``.
+    """
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be positive, got {bin_width}")
+    if end <= start:
+        raise ValueError(f"end must exceed start: {start} .. {end}")
+    bin_count = max(1, int((end - start) / bin_width + 1e-9))
+    buckets: List[List[float]] = [[] for _ in range(bin_count)]
+    for time, value in samples:
+        index = int((time - start) / bin_width)
+        if 0 <= index < bin_count:
+            buckets[index].append(value)
+    times = [start + (index + 0.5) * bin_width for index in range(bin_count)]
+    values = [reducer(bucket) if bucket else None for bucket in buckets]
+    return TimeSeries(times, values)

@@ -1,0 +1,176 @@
+"""Duplex overlay links.
+
+Each link models a 10 Mbit/s Ethernet-like channel (the paper's assumption)
+between two dispatchers:
+
+* **Serialization**: a message of ``size_bits`` occupies the sender side of
+  the link for ``size_bits / bandwidth_bps`` seconds; messages queue FIFO
+  per direction (each direction has its own transmitter).
+* **Propagation**: a fixed ``propagation_delay`` is added after
+  serialization completes.
+* **Loss**: each transmission is dropped independently with probability
+  ``error_rate`` (the paper's link error rate ε).  A dropped message still
+  occupies the transmitter -- the bits are sent, they just arrive corrupted
+  and are discarded, as on a real lossy channel.
+* **Outage**: a link can be taken ``down`` by the reconfiguration engine;
+  transmissions attempted while down are lost (and counted as drops).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from repro.network.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.network.network import Network
+
+__all__ = ["Link", "LinkStats"]
+
+
+class LinkStats:
+    """Per-link transmission counters (both directions pooled)."""
+
+    __slots__ = ("sent", "delivered", "lost", "dropped_down", "busy_time")
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+        self.dropped_down = 0
+        self.busy_time = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the link spent transmitting (one direction
+        at full duty counts as 0.5 because the link is duplex)."""
+        if elapsed <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_time / (2.0 * elapsed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<LinkStats sent={self.sent} delivered={self.delivered} "
+            f"lost={self.lost} down-drops={self.dropped_down}>"
+        )
+
+
+class Link:
+    """A duplex link between two nodes of the overlay tree.
+
+    Parameters
+    ----------
+    network:
+        Owning network (provides the simulator and delivery hooks).
+    node_a, node_b:
+        Endpoint node ids.
+    bandwidth_bps:
+        Channel rate; default 10 Mbit/s.
+    propagation_delay:
+        One-way propagation latency in seconds.
+    error_rate:
+        Per-transmission Bernoulli loss probability (ε).
+    rng:
+        Random stream used for loss draws.
+    """
+
+    __slots__ = (
+        "network",
+        "node_a",
+        "node_b",
+        "bandwidth_bps",
+        "propagation_delay",
+        "error_rate",
+        "rng",
+        "up",
+        "stats",
+        "_busy_until",
+    )
+
+    def __init__(
+        self,
+        network: "Network",
+        node_a: int,
+        node_b: int,
+        bandwidth_bps: float,
+        propagation_delay: float,
+        error_rate: float,
+        rng: random.Random,
+    ) -> None:
+        if node_a == node_b:
+            raise ValueError(f"self-link at node {node_a}")
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        self.network = network
+        self.node_a = node_a
+        self.node_b = node_b
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+        self.error_rate = error_rate
+        self.rng = rng
+        self.up = True
+        self.stats = LinkStats()
+        # Per-direction transmitter availability, keyed by sender id.
+        self._busy_until = {node_a: 0.0, node_b: 0.0}
+
+    # ------------------------------------------------------------------
+    def other_end(self, node: int) -> int:
+        """The id of the endpoint opposite to ``node``."""
+        if node == self.node_a:
+            return self.node_b
+        if node == self.node_b:
+            return self.node_a
+        raise ValueError(f"node {node} is not an endpoint of {self!r}")
+
+    def endpoints(self) -> tuple[int, int]:
+        return (self.node_a, self.node_b)
+
+    # ------------------------------------------------------------------
+    def transmit(self, from_node: int, message: Message) -> bool:
+        """Send ``message`` from ``from_node`` to the opposite endpoint.
+
+        Returns ``True`` if the message was *enqueued for transmission*
+        (delivery is still subject to loss), ``False`` if the link is down.
+        The caller is charged for the send in either case -- a dispatcher
+        cannot know the link state before trying.
+        """
+        to_node = self.other_end(from_node)
+        sim = self.network.sim
+        self.stats.sent += 1
+        self.network.count_send(message.kind, from_node)
+        if not self.up:
+            self.stats.dropped_down += 1
+            self.network.count_drop(message.kind)
+            return False
+        serialization = message.size_bits / self.bandwidth_bps
+        start = max(sim.now, self._busy_until[from_node])
+        done = start + serialization
+        self._busy_until[from_node] = done
+        self.stats.busy_time += serialization
+        if self.error_rate > 0.0 and self.rng.random() < self.error_rate:
+            self.stats.lost += 1
+            self.network.count_drop(message.kind)
+            return True
+        arrival = done + self.propagation_delay
+        sim.schedule_at(arrival, self._deliver, message, from_node, to_node)
+        return True
+
+    def _deliver(self, message: Message, from_node: int, to_node: int) -> None:
+        # A link that went down while the message was in flight also loses it:
+        # the physical channel is gone.
+        if not self.up:
+            self.stats.dropped_down += 1
+            self.network.count_drop(message.kind)
+            return
+        self.stats.delivered += 1
+        self.network.deliver(message, from_node, to_node)
+
+    def set_up(self, up: bool) -> None:
+        """Raise or lower the link (reconfiguration engine hook)."""
+        self.up = up
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.up else "down"
+        return f"<Link {self.node_a}<->{self.node_b} {state}>"

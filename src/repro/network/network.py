@@ -1,0 +1,238 @@
+"""The network: nodes, live links, and the out-of-band channel.
+
+The :class:`Network` is the glue between the topology layer (which decides
+*which* links exist) and the dispatchers (which decide *what* to send).  It
+also hosts the out-of-band unicast channel used by the recovery algorithms
+for requests and retransmissions: a direct, connectionless path between any
+two dispatchers, independent of the tree, with its own latency and loss.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Protocol, Tuple
+
+from repro.network.link import Link
+from repro.network.message import Message, MessageKind
+from repro.network.node import Node
+from repro.sim.engine import Simulator
+
+__all__ = ["Network", "NetworkConfig", "TrafficObserver"]
+
+
+class TrafficObserver(Protocol):
+    """Hook interface for message accounting (implemented by metrics)."""
+
+    def count_send(self, kind: MessageKind, node_id: int) -> None: ...
+
+    def count_drop(self, kind: MessageKind) -> None: ...
+
+    def count_deliver(self, kind: MessageKind) -> None: ...
+
+
+class _NullObserver:
+    """Default observer: counts nothing."""
+
+    def count_send(self, kind: MessageKind, node_id: int) -> None:
+        pass
+
+    def count_drop(self, kind: MessageKind) -> None:
+        pass
+
+    def count_deliver(self, kind: MessageKind) -> None:
+        pass
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Physical parameters of the dispatching network.
+
+    Defaults follow the paper: 10 Mbit/s links; the out-of-band channel is
+    a direct UDP-like path (1 ms latency by default) whose reliability is
+    configurable (the paper only requires it to exist, "not necessarily
+    reliable").
+    """
+
+    bandwidth_bps: float = 10_000_000.0
+    propagation_delay: float = 0.0001
+    error_rate: float = 0.1
+    oob_latency: float = 0.001
+    oob_error_rate: float = 0.0
+
+
+class Network:
+    """Nodes plus links plus the out-of-band channel.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine.
+    config:
+        Physical parameters (bandwidth, delays, error rates).
+    loss_rng:
+        Random stream for link-loss and out-of-band-loss draws.
+    observer:
+        Optional traffic observer for overhead accounting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NetworkConfig,
+        loss_rng: random.Random,
+        observer: Optional[TrafficObserver] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self._loss_rng = loss_rng
+        self.observer: TrafficObserver = observer or _NullObserver()
+        self._nodes: Dict[int, Node] = {}
+        # adjacency: node id -> {neighbor id -> Link}
+        self._adjacency: Dict[int, Dict[int, Link]] = {}
+        self._links: Dict[Tuple[int, int], Link] = {}
+
+    # ------------------------------------------------------------------
+    # Node / link management
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+        self._adjacency[node.node_id] = {}
+
+    def node(self, node_id: int) -> Node:
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> Iterator[int]:
+        return iter(self._nodes)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @staticmethod
+    def _key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def add_link(self, a: int, b: int) -> Link:
+        """Create (and raise) a link between nodes ``a`` and ``b``."""
+        if a not in self._nodes or b not in self._nodes:
+            raise KeyError(f"both endpoints must exist: {a}, {b}")
+        key = self._key(a, b)
+        if key in self._links:
+            raise ValueError(f"link {key} already exists")
+        link = Link(
+            self,
+            a,
+            b,
+            bandwidth_bps=self.config.bandwidth_bps,
+            propagation_delay=self.config.propagation_delay,
+            error_rate=self.config.error_rate,
+            rng=self._loss_rng,
+        )
+        self._links[key] = link
+        self._adjacency[a][b] = link
+        self._adjacency[b][a] = link
+        return link
+
+    def remove_link(self, a: int, b: int) -> Link:
+        """Tear down the link between ``a`` and ``b`` and return it.
+
+        In-flight messages on the link are lost (the link marks itself down
+        before removal so pending deliveries are discarded).
+        """
+        key = self._key(a, b)
+        link = self._links.pop(key, None)
+        if link is None:
+            raise KeyError(f"no link between {a} and {b}")
+        link.set_up(False)
+        del self._adjacency[a][b]
+        del self._adjacency[b][a]
+        return link
+
+    def has_link(self, a: int, b: int) -> bool:
+        return self._key(a, b) in self._links
+
+    def link(self, a: int, b: int) -> Link:
+        return self._links[self._key(a, b)]
+
+    def links(self) -> Iterable[Link]:
+        return self._links.values()
+
+    @property
+    def link_count(self) -> int:
+        return len(self._links)
+
+    def neighbors(self, node_id: int) -> list[int]:
+        """Current overlay neighbors of ``node_id`` (sorted for determinism)."""
+        return sorted(self._adjacency[node_id])
+
+    def degree(self, node_id: int) -> int:
+        return len(self._adjacency[node_id])
+
+    def edges(self) -> list[Tuple[int, int]]:
+        """All live links as sorted (a, b) pairs; deterministic order."""
+        return sorted(self._links)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, from_node: int, to_node: int, message: Message) -> bool:
+        """Send over the overlay link between adjacent nodes.
+
+        Returns ``False`` when there is no live link (e.g. it broke while
+        the routing table still points at it) -- the message is silently
+        lost, exactly like a frame sent onto a dead wire.
+        """
+        link = self._adjacency[from_node].get(to_node)
+        if link is None:
+            self.observer.count_send(message.kind, from_node)
+            self.observer.count_drop(message.kind)
+            return False
+        return link.transmit(from_node, message)
+
+    def send_oob(self, from_node: int, to_node: int, message: Message) -> bool:
+        """Send over the out-of-band unicast channel (direct, UDP-like).
+
+        The channel is independent of the tree: constant latency, optional
+        Bernoulli loss, no queueing (recovery traffic is small compared to
+        the 10 Mbit/s links, and the paper treats this path as out of band).
+        """
+        if to_node not in self._nodes:
+            raise KeyError(f"unknown out-of-band destination {to_node}")
+        self.observer.count_send(message.kind, from_node)
+        if (
+            self.config.oob_error_rate > 0.0
+            and self._loss_rng.random() < self.config.oob_error_rate
+        ):
+            self.observer.count_drop(message.kind)
+            return True
+        self.sim.schedule(
+            self.config.oob_latency, self._deliver_oob, message, from_node, to_node
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Delivery plumbing (called by links)
+    # ------------------------------------------------------------------
+    def deliver(self, message: Message, from_node: int, to_node: int) -> None:
+        self.observer.count_deliver(message.kind)
+        self._nodes[to_node].receive(message, from_node)
+
+    def _deliver_oob(self, message: Message, from_node: int, to_node: int) -> None:
+        self.observer.count_deliver(message.kind)
+        self._nodes[to_node].receive_oob(message, from_node)
+
+    # Counting hooks used by Link ---------------------------------------
+    def count_send(self, kind: MessageKind, node_id: int) -> None:
+        self.observer.count_send(kind, node_id)
+
+    def count_drop(self, kind: MessageKind) -> None:
+        self.observer.count_drop(kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Network nodes={len(self._nodes)} links={len(self._links)}>"

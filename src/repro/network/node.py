@@ -1,0 +1,34 @@
+"""Node interface.
+
+Anything attached to a :class:`~repro.network.network.Network` must expose
+the small surface defined here.  The only real implementation in the
+repository is :class:`~repro.pubsub.dispatcher.Dispatcher`; tests use stubs.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.network.message import Message
+
+__all__ = ["Node"]
+
+
+@runtime_checkable
+class Node(Protocol):
+    """Protocol implemented by every simulated network node."""
+
+    #: Stable integer identity, unique within a network.
+    node_id: int
+
+    def receive(self, message: Message, from_node: int) -> None:
+        """Handle a message delivered over an overlay (tree) link.
+
+        ``from_node`` is the id of the *previous hop*, which reverse-path
+        routing needs; the original sender travels in ``message.sender``.
+        """
+        ...
+
+    def receive_oob(self, message: Message, from_node: int) -> None:
+        """Handle a message delivered over the out-of-band unicast channel."""
+        ...

@@ -1,0 +1,39 @@
+"""Content-based publish-subscribe with subscription forwarding.
+
+This subpackage implements the best-effort dispatching substrate of
+Section II of the paper:
+
+* events are sequences of numbers, each number being a pattern id; an event
+  matches a subscription iff it contains the subscribed pattern
+  (:mod:`~repro.pubsub.pattern`, :mod:`~repro.pubsub.event`);
+* dispatchers are connected in a single unrooted tree and run *subscription
+  forwarding*: subscriptions flood the tree (with per-direction
+  deduplication) and lay down reverse-path routes for events
+  (:mod:`~repro.pubsub.subscription`, :mod:`~repro.pubsub.dispatcher`);
+* each dispatcher caches events for which it is publisher or subscriber in
+  a FIFO buffer of β elements (:mod:`~repro.pubsub.cache`);
+* :class:`~repro.pubsub.system.PubSubSystem` wires dispatchers, network and
+  tree together and exposes the user-facing API (subscribe / publish).
+
+Reliability is *not* provided here -- that is the job of
+:mod:`repro.recovery`, which plugs into the dispatcher via the
+``RecoveryAlgorithm`` interface.
+"""
+
+from repro.pubsub.pattern import PatternSpace, LOCAL
+from repro.pubsub.event import Event, EventId
+from repro.pubsub.subscription import SubscriptionTable
+from repro.pubsub.cache import EventCache
+from repro.pubsub.dispatcher import Dispatcher
+from repro.pubsub.system import PubSubSystem
+
+__all__ = [
+    "PatternSpace",
+    "LOCAL",
+    "Event",
+    "EventId",
+    "SubscriptionTable",
+    "EventCache",
+    "Dispatcher",
+    "PubSubSystem",
+]

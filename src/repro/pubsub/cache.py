@@ -1,0 +1,204 @@
+"""The event buffer (the paper's β).
+
+Section IV-A: *"Each dispatcher is equipped with a buffer where events are
+stored, to satisfy retransmission requests.  The buffer has a size of β
+elements.  In our simulations we adopted a simple FIFO buffering strategy
+where each dispatcher caches only events for which it is either the
+publisher or a subscriber."*
+
+:class:`EventCache` is that buffer, with two lookup indexes:
+
+* by :class:`~repro.pubsub.event.EventId` -- used by the push algorithm
+  (positive digests carry event ids);
+* by ``(source, pattern, pattern_seq)`` -- used by the pull algorithms
+  (negative digests carry loss-detection triples).
+
+Eviction policies
+-----------------
+The paper uses plain FIFO but explicitly flags buffer management as an
+optimization frontier ("we are currently investigating if and how some of
+the published results [13] that enable a significant buffer optimization
+are applicable in our context").  Besides the default ``"fifo"`` the cache
+therefore supports:
+
+* ``"lru"`` -- a lookup hit refreshes the entry's position, so events
+  still being requested survive longer;
+* ``"random"`` -- evict a uniformly random entry, the classic
+  age-unbiased strategy from the bimodal-multicast literature.
+
+``benchmarks/test_ablation_cache_policy.py`` compares the three.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.pubsub.event import Event, EventId
+
+__all__ = ["EventCache", "CACHE_POLICIES"]
+
+LossKey = Tuple[int, int, int]  # (source, pattern, pattern_seq)
+
+#: Supported eviction policies.
+CACHE_POLICIES = ("fifo", "lru", "random")
+
+
+class EventCache:
+    """FIFO cache of β events with id- and loss-key indexes.
+
+    >>> cache = EventCache(capacity=2)
+    >>> from repro.pubsub.event import Event, EventId
+    >>> e1 = Event(EventId(0, 1), (5,), {5: 1}, 0.0)
+    >>> e2 = Event(EventId(0, 2), (5,), {5: 2}, 0.0)
+    >>> e3 = Event(EventId(0, 3), (5,), {5: 3}, 0.0)
+    >>> cache.insert(e1); cache.insert(e2); cache.insert(e3)
+    True
+    True
+    True
+    >>> cache.get(e1.event_id) is None  # evicted FIFO
+    True
+    >>> cache.get(e3.event_id) is e3
+    True
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "fifo",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        if policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache policy {policy!r}; choose from {CACHE_POLICIES}"
+            )
+        if policy == "random" and rng is None:
+            raise ValueError("the 'random' policy needs an rng")
+        self.capacity = capacity
+        self.policy = policy
+        self._rng = rng
+        # O(1) uniform victim selection for the random policy.
+        self._id_list: List[EventId] = []
+        self._id_pos: Dict[EventId, int] = {}
+        self._events: "OrderedDict[EventId, Event]" = OrderedDict()
+        self._by_loss_key: Dict[LossKey, EventId] = {}
+        # Per-pattern index (insertion-ordered) so the push algorithm can
+        # build its digest without scanning the whole buffer every round.
+        self._by_pattern: Dict[int, "OrderedDict[EventId, Event]"] = {}
+        self.insertions = 0
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def insert(self, event: Event) -> bool:
+        """Add an event, evicting the oldest entry if at capacity.
+
+        Re-inserting an already cached event is a no-op that does *not*
+        refresh its FIFO position (the paper's strategy is plain FIFO, not
+        LRU).  Returns ``True`` if the event is cached after the call.
+        """
+        if self.capacity == 0:
+            return False
+        if event.event_id in self._events:
+            return True
+        if len(self._events) >= self.capacity:
+            self._evict_one()
+        self._events[event.event_id] = event
+        if self.policy == "random":
+            self._id_pos[event.event_id] = len(self._id_list)
+            self._id_list.append(event.event_id)
+        for pattern, seq in event.pattern_seqs.items():
+            self._by_loss_key[(event.source, pattern, seq)] = event.event_id
+            bucket = self._by_pattern.get(pattern)
+            if bucket is None:
+                bucket = OrderedDict()
+                self._by_pattern[pattern] = bucket
+            bucket[event.event_id] = event
+        self.insertions += 1
+        return True
+
+    def _evict_one(self) -> None:
+        if self.policy == "random":
+            victim_index = self._rng.randrange(len(self._id_list))
+            event_id = self._id_list[victim_index]
+            last_id = self._id_list[-1]
+            self._id_list[victim_index] = last_id
+            self._id_pos[last_id] = victim_index
+            self._id_list.pop()
+            del self._id_pos[event_id]
+            event = self._events.pop(event_id)
+        else:
+            # fifo and lru both evict the head; lru differs by refreshing
+            # positions on hits (see get/get_by_loss_key).
+            event_id, event = self._events.popitem(last=False)
+        for pattern, seq in event.pattern_seqs.items():
+            self._by_loss_key.pop((event.source, pattern, seq), None)
+            bucket = self._by_pattern.get(pattern)
+            if bucket is not None:
+                bucket.pop(event_id, None)
+                if not bucket:
+                    del self._by_pattern[pattern]
+        self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def get(self, event_id: EventId) -> Optional[Event]:
+        """Lookup by event id (push-style positive digest entries)."""
+        event = self._events.get(event_id)
+        if event is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            if self.policy == "lru":
+                self._events.move_to_end(event_id)
+        return event
+
+    def get_by_loss_key(
+        self, source: int, pattern: int, pattern_seq: int
+    ) -> Optional[Event]:
+        """Lookup by loss-detection triple (pull-style digest entries)."""
+        event_id = self._by_loss_key.get((source, pattern, pattern_seq))
+        if event_id is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if self.policy == "lru":
+            self._events.move_to_end(event_id)
+        return self._events[event_id]
+
+    def contains(self, event_id: EventId) -> bool:
+        return event_id in self._events
+
+    def matching(self, pattern: int) -> List[Event]:
+        """All cached events matching ``pattern``, oldest first.
+
+        Used by the push algorithm to build its positive digest.
+        """
+        bucket = self._by_pattern.get(pattern)
+        return list(bucket.values()) if bucket else []
+
+    def matching_ids(self, pattern: int) -> List[EventId]:
+        """Ids of cached events matching ``pattern``, oldest first."""
+        bucket = self._by_pattern.get(pattern)
+        return list(bucket) if bucket else []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events.values())
+
+    def oldest(self) -> Optional[Event]:
+        if not self._events:
+            return None
+        return next(iter(self._events.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<EventCache {len(self._events)}/{self.capacity} "
+            f"evictions={self.evictions}>"
+        )

@@ -1,0 +1,382 @@
+"""The dispatcher: one node of the dispatching network.
+
+A dispatcher implements the best-effort behaviour of Section II:
+
+* it accepts *local* subscriptions (its clients') and propagates them along
+  the tree with per-direction deduplication;
+* it publishes events on behalf of its clients, tagging them at the source
+  with per-(source, pattern) sequence numbers (Section III-B's
+  loss-detection scheme) and routing them on the reverse paths laid down by
+  subscriptions;
+* it caches events for which it is publisher or subscriber in the FIFO
+  buffer;
+* it hands gossip traffic and loss-detection opportunities to the attached
+  :class:`RecoveryAlgorithm` (see :mod:`repro.recovery`), and offers the
+  primitives recovery needs: pattern-steered gossip forwarding, out-of-band
+  unicast, and cache lookups.
+
+Clients are not modelled explicitly (the paper folds them into their
+dispatcher, and so do we).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional, Protocol, Set, Tuple
+
+from repro.network.message import Message, MessageKind
+from repro.network.network import Network
+from repro.pubsub.cache import EventCache
+from repro.pubsub.event import Event, EventId
+from repro.pubsub.pattern import LOCAL, PatternSpace
+from repro.pubsub.subscription import SubscriptionTable
+from repro.sim.engine import Simulator
+
+__all__ = ["Dispatcher", "RecoveryHooks", "SUBSCRIBE", "UNSUBSCRIBE"]
+
+#: Subscription message operations.
+SUBSCRIBE = 1
+UNSUBSCRIBE = 2
+
+#: Route annotation attached to event messages: tuple of dispatcher ids the
+#: message traversed so far (publisher first).  ``None`` when route
+#: recording is disabled.
+Route = Optional[Tuple[int, ...]]
+
+DeliveryCallback = Callable[[int, Event, bool], None]
+
+
+class RecoveryHooks(Protocol):
+    """What a recovery algorithm exposes to its dispatcher.
+
+    Implemented by :class:`repro.recovery.base.RecoveryAlgorithm`; declared
+    here as a protocol so the pub-sub layer does not import the recovery
+    package.
+    """
+
+    def on_event_received(self, event: Event, route: Route) -> None: ...
+
+    def on_event_published(self, event: Event) -> None: ...
+
+    def handle_gossip(self, payload: Any, from_node: int) -> None: ...
+
+    def handle_oob_request(self, payload: Any, from_node: int) -> None: ...
+
+
+class Dispatcher:
+    """A dispatching server of the content-based publish-subscribe network.
+
+    Parameters
+    ----------
+    node_id:
+        Integer identity within the network.
+    sim, network:
+        Simulation engine and the network the dispatcher is attached to.
+    pattern_space:
+        The universe of patterns (Π).
+    buffer_size:
+        β, the FIFO event-cache capacity.
+    record_routes:
+        When true, event messages accumulate the dispatcher ids they
+        traverse (required by publisher-based pull).
+    on_deliver:
+        Callback ``(node_id, event, recovered)`` invoked at each local
+        delivery; wired to the metrics layer by the scenario builder.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        pattern_space: PatternSpace,
+        buffer_size: int,
+        record_routes: bool = False,
+        on_deliver: Optional[DeliveryCallback] = None,
+        cache_policy: str = "fifo",
+        cache_rng=None,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.pattern_space = pattern_space
+        self.table = SubscriptionTable()
+        self.cache = EventCache(buffer_size, policy=cache_policy, rng=cache_rng)
+        self.record_routes = record_routes
+        self.on_deliver = on_deliver
+        #: invoked with the fresh event right after creation, before local
+        #: delivery and forwarding (metrics register expectations here).
+        self.on_publish: Optional[Callable[[Event], None]] = None
+        #: when False, published/received events are NOT forwarded along
+        #: the tree -- used by gossip-only dissemination (the hpcast-style
+        #: comparator), where epidemic exchange is the sole transport.
+        self.tree_routing_enabled: bool = True
+        self.recovery: Optional[RecoveryHooks] = None
+
+        #: ids of every event ever received (normally or via recovery);
+        #: used for duplicate suppression and push-digest checks.
+        self.received_ids: Set[EventId] = set()
+        #: next event-id sequence number for events published here.
+        self._next_event_seq = 1
+        #: per-pattern sequence counters for loss-detection tags.
+        self._pattern_counters: Dict[int, int] = {}
+        #: number of subscription-table match operations (Section IV-E's
+        #: computational-overhead discussion; bookkeeping only).
+        self.match_operations = 0
+        #: events published / delivered here.
+        self.published_count = 0
+        self.delivered_count = 0
+        self.recovered_count = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_recovery(self, recovery: RecoveryHooks) -> None:
+        self.recovery = recovery
+
+    @property
+    def local_patterns(self) -> list[int]:
+        return self.table.local_patterns()
+
+    def neighbors(self) -> list[int]:
+        return self.network.neighbors(self.node_id)
+
+    # ------------------------------------------------------------------
+    # Subscribing (protocol-based; the scenario builder may instead lay
+    # tables down via the oracle in repro.pubsub.system)
+    # ------------------------------------------------------------------
+    def subscribe(self, pattern: int) -> None:
+        """Subscribe a local client to ``pattern`` and propagate.
+
+        Propagation uses the paper's optimization: the subscription is
+        forwarded to each neighbor at most once per pattern ("avoiding
+        subscription forwarding of the same event pattern in the same
+        direction"), tracked by the table's forwarded marks.
+        """
+        self.pattern_space.validate(pattern)
+        self.table.add(pattern, LOCAL)
+        self._propagate_subscription(pattern, exclude=None)
+
+    def unsubscribe(self, pattern: int) -> None:
+        """Remove the local subscription for ``pattern`` and propagate."""
+        self.table.remove(pattern, LOCAL)
+        self._propagate_unsubscription(pattern)
+
+    def _propagate_subscription(self, pattern: int, exclude: Optional[int]) -> None:
+        for neighbor in self.neighbors():
+            if neighbor == exclude:
+                continue
+            if not self.table.mark_forwarded(pattern, neighbor):
+                continue
+            message = Message(
+                MessageKind.SUBSCRIPTION, (SUBSCRIBE, pattern), self.node_id
+            )
+            self.network.send(self.node_id, neighbor, message)
+
+    def _propagate_unsubscription(self, pattern: int) -> None:
+        """Withdraw the subscription from neighbors that no longer need it.
+
+        We still need events for ``pattern`` from neighbor ``m`` iff some
+        direction other than ``m`` remains in our table; otherwise the
+        subscription previously forwarded to ``m`` is withdrawn.
+        """
+        remaining = set(self.table.directions(pattern))
+        for neighbor in self.neighbors():
+            if not self.table.was_forwarded(pattern, neighbor):
+                continue
+            if remaining - {neighbor}:
+                continue
+            self.table.unmark_forwarded(pattern, neighbor)
+            message = Message(
+                MessageKind.SUBSCRIPTION, (UNSUBSCRIBE, pattern), self.node_id
+            )
+            self.network.send(self.node_id, neighbor, message)
+
+    def _handle_subscription(self, payload: Tuple[int, int], from_node: int) -> None:
+        operation, pattern = payload
+        if operation == SUBSCRIBE:
+            self.table.add(pattern, from_node)
+            self._propagate_subscription(pattern, exclude=from_node)
+        else:
+            self.table.remove(pattern, from_node)
+            self._propagate_unsubscription(pattern)
+
+    # ------------------------------------------------------------------
+    # Publishing and event routing
+    # ------------------------------------------------------------------
+    def publish(self, patterns: Tuple[int, ...]) -> Event:
+        """Publish an event containing ``patterns``.
+
+        The event is tagged at the source with a fresh per-(source, pattern)
+        sequence number for *every* pattern it contains -- the paper notes
+        this is possible because subscription forwarding makes subscriptions
+        (and hence the pattern universe) known everywhere, and costs the
+        publisher a full match against its subscription table.
+        """
+        for pattern in patterns:
+            self.pattern_space.validate(pattern)
+        if len(set(patterns)) != len(patterns):
+            raise ValueError(f"event patterns must be distinct, got {patterns}")
+        pattern_seqs: Dict[int, int] = {}
+        for pattern in patterns:
+            seq = self._pattern_counters.get(pattern, 0) + 1
+            self._pattern_counters[pattern] = seq
+            pattern_seqs[pattern] = seq
+        # Publisher-side full match (Section IV-E computational overhead).
+        self.match_operations += len(self.table)
+        event = Event(
+            EventId(self.node_id, self._next_event_seq),
+            tuple(sorted(patterns)),
+            pattern_seqs,
+            self.sim.now,
+        )
+        self._next_event_seq += 1
+        self.published_count += 1
+
+        if self.on_publish is not None:
+            self.on_publish(event)
+        if self.recovery is not None:
+            self.recovery.on_event_published(event)
+        self.received_ids.add(event.event_id)
+        if self.table.matches_locally(event.patterns):
+            self._deliver(event, recovered=False)
+        # "Each dispatcher caches only events for which it is either the
+        # publisher or a subscriber" -- the publisher always caches.
+        self.cache.insert(event)
+        route: Route = (self.node_id,) if self.record_routes else None
+        self._forward_event(event, route, exclude=None)
+        return event
+
+    def _forward_event(self, event: Event, route: Route, exclude: Optional[int]) -> None:
+        if not self.tree_routing_enabled:
+            return
+        directions = self.table.matching_directions(event.patterns)
+        self.match_operations += len(event.patterns)
+        for direction in sorted(directions):
+            if direction == LOCAL or direction == exclude:
+                continue
+            message = Message(MessageKind.EVENT, (event, route), event.source)
+            self.network.send(self.node_id, direction, message)
+
+    def _handle_event(self, payload: Tuple[Event, Route], from_node: int) -> None:
+        event, route = payload
+        if event.event_id in self.received_ids:
+            return  # duplicate (possible across reconfigurations)
+        self.received_ids.add(event.event_id)
+        is_subscriber = self.table.matches_locally(event.patterns)
+        if is_subscriber:
+            self._deliver(event, recovered=False)
+        if self.recovery is not None:
+            self.recovery.on_event_received(event, route)
+        if is_subscriber:
+            self.cache.insert(event)
+        if route is not None:
+            route = route + (self.node_id,)
+        self._forward_event(event, route, exclude=from_node)
+
+    def receive_recovered_event(self, event: Event) -> None:
+        """Process an event obtained through the recovery machinery.
+
+        Recovered events are delivered locally and cached, but *not*
+        forwarded on the tree: recovery is point-to-point and every
+        dispatcher recovers on its own behalf.
+        """
+        if event.event_id in self.received_ids:
+            return
+        self.received_ids.add(event.event_id)
+        is_subscriber = self.table.matches_locally(event.patterns)
+        if is_subscriber:
+            self.recovered_count += 1
+            self._deliver(event, recovered=True)
+        if self.recovery is not None:
+            self.recovery.on_event_received(event, None)
+        if is_subscriber:
+            self.cache.insert(event)
+
+    def ingest_disseminated_event(self, event: Event) -> bool:
+        """Process an event that arrived via gossip-only dissemination.
+
+        Like :meth:`receive_recovered_event` but following the hpcast
+        model the comparator implements: the event is cached whether or
+        not this dispatcher subscribes (everyone relays the epidemic),
+        and never forwarded on the tree.  Returns ``True`` if the event
+        was new.
+        """
+        if event.event_id in self.received_ids:
+            return False
+        self.received_ids.add(event.event_id)
+        if self.table.matches_locally(event.patterns):
+            self.recovered_count += 1
+            self._deliver(event, recovered=True)
+        if self.recovery is not None:
+            self.recovery.on_event_received(event, None)
+        self.cache.insert(event)
+        return True
+
+    def _deliver(self, event: Event, recovered: bool) -> None:
+        self.delivered_count += 1
+        if self.on_deliver is not None:
+            self.on_deliver(self.node_id, event, recovered)
+
+    # ------------------------------------------------------------------
+    # Primitives offered to the recovery algorithms
+    # ------------------------------------------------------------------
+    def gossip_targets(self, pattern: int, exclude: Optional[int]) -> list[int]:
+        """Neighbors subscribed to ``pattern`` (candidates for gossip
+        forwarding), excluding the previous hop."""
+        return [
+            neighbor
+            for neighbor in self.table.neighbor_directions(pattern)
+            if neighbor != exclude
+        ]
+
+    def send_gossip(
+        self, neighbor: int, payload: Any, size_bits: Optional[int] = None
+    ) -> None:
+        """Send one gossip message over the tree link to ``neighbor``.
+
+        ``size_bits`` overrides the default wire size -- digests default
+        to the event-message size (the paper's upper-bound assumption),
+        but payloads carrying full events charge more.
+        """
+        message = Message(MessageKind.GOSSIP, payload, self.node_id)
+        if size_bits is not None:
+            message.size_bits = size_bits
+        self.network.send(self.node_id, neighbor, message)
+
+    def send_oob_request(self, to_node: int, payload: Any) -> None:
+        """Out-of-band request (push receivers asking the gossiper)."""
+        message = Message(MessageKind.OOB_REQUEST, payload, self.node_id)
+        self.network.send_oob(self.node_id, to_node, message)
+
+    def send_oob_event(self, to_node: int, event: Event) -> None:
+        """Out-of-band retransmission of one cached event."""
+        message = Message(MessageKind.OOB_EVENT, event, self.node_id)
+        self.network.send_oob(self.node_id, to_node, message)
+
+    # ------------------------------------------------------------------
+    # Network-facing entry points
+    # ------------------------------------------------------------------
+    def receive(self, message: Message, from_node: int) -> None:
+        kind = message.kind
+        if kind == MessageKind.EVENT:
+            self._handle_event(message.payload, from_node)
+        elif kind == MessageKind.GOSSIP:
+            if self.recovery is not None:
+                self.recovery.handle_gossip(message.payload, from_node)
+        elif kind == MessageKind.SUBSCRIPTION:
+            self._handle_subscription(message.payload, from_node)
+        # CONTROL and unknown kinds are ignored by design.
+
+    def receive_oob(self, message: Message, from_node: int) -> None:
+        kind = message.kind
+        if kind == MessageKind.OOB_REQUEST:
+            if self.recovery is not None:
+                self.recovery.handle_oob_request(message.payload, from_node)
+        elif kind == MessageKind.OOB_EVENT:
+            self.receive_recovered_event(message.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Dispatcher {self.node_id} local={self.table.local_patterns()} "
+            f"cache={len(self.cache)}/{self.cache.capacity}>"
+        )

@@ -1,0 +1,122 @@
+"""Events and event identifiers.
+
+The identification scheme is the one Section III-B requires for pull-based
+loss detection: *"The event identifier in this scheme contains the event
+source, information about all the patterns matched by the event and, for
+each pattern, a sequence number incremented at the source each time an event
+is published for that pattern."*
+
+Concretely an :class:`Event` carries:
+
+* :class:`EventId` ``(source, seq)`` -- globally unique (footnote 3: source
+  id plus a per-source monotonically increasing counter);
+* ``patterns`` -- the content: the tuple of pattern numbers it contains;
+* ``pattern_seqs`` -- for every contained pattern ``p``, the per-(source, p)
+  sequence number assigned at publish time.
+
+Events are immutable once published; the mutable *route* accumulated for
+publisher-based pull travels in the event *message*, not in the event
+(a single event object is shared by every copy in flight).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["EventId", "Event"]
+
+
+class EventId:
+    """Globally unique event identity: (source dispatcher, per-source seq)."""
+
+    __slots__ = ("source", "seq")
+
+    def __init__(self, source: int, seq: int) -> None:
+        self.source = source
+        self.seq = seq
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, EventId)
+            and self.source == other.source
+            and self.seq == other.seq
+        )
+
+    def __hash__(self) -> int:
+        # Cheap, collision-free for realistic seq ranges.
+        return hash((self.source, self.seq))
+
+    def __lt__(self, other: "EventId") -> bool:
+        return (self.source, self.seq) < (other.source, other.seq)
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.source, self.seq)
+
+    def __repr__(self) -> str:
+        return f"EventId({self.source}, {self.seq})"
+
+
+class Event:
+    """A published event.
+
+    Attributes
+    ----------
+    event_id:
+        The :class:`EventId`.
+    patterns:
+        Sorted tuple of pattern numbers the event contains (its content).
+    pattern_seqs:
+        ``{pattern: sequence number}`` assigned at the source, one entry per
+        contained pattern -- the loss-detection tags of Section III-B.
+    publish_time:
+        Simulation time of the publish operation (used by metrics and for
+        cache-persistence analysis).
+    """
+
+    __slots__ = ("event_id", "patterns", "pattern_seqs", "publish_time")
+
+    def __init__(
+        self,
+        event_id: EventId,
+        patterns: Tuple[int, ...],
+        pattern_seqs: Dict[int, int],
+        publish_time: float,
+    ) -> None:
+        if not patterns:
+            raise ValueError("an event must contain at least one pattern")
+        if set(pattern_seqs) != set(patterns):
+            raise ValueError(
+                "pattern_seqs must tag exactly the contained patterns: "
+                f"{sorted(pattern_seqs)} vs {sorted(patterns)}"
+            )
+        self.event_id = event_id
+        self.patterns = patterns
+        self.pattern_seqs = pattern_seqs
+        self.publish_time = publish_time
+
+    @property
+    def source(self) -> int:
+        return self.event_id.source
+
+    def matches(self, pattern: int) -> bool:
+        """Content-based match against a single subscription pattern."""
+        return pattern in self.patterns
+
+    def matches_any(self, patterns) -> bool:
+        """True if the event matches at least one of ``patterns``."""
+        for pattern in self.patterns:
+            if pattern in patterns:
+                return True
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Event) and self.event_id == other.event_id
+
+    def __hash__(self) -> int:
+        return hash(self.event_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Event {self.event_id!r} patterns={self.patterns} "
+            f"t={self.publish_time:.4f}>"
+        )

@@ -1,0 +1,84 @@
+"""Patterns and the pattern space.
+
+The paper's content model (Section IV-A): *"Events are represented as
+randomly-generated sequences of numbers, where each number represents a
+pattern of the system. ... An event pattern is represented as a single
+number.  An event matches a subscription if it contains the number specified
+by the event pattern in the subscription."*
+
+A pattern is therefore just an ``int`` in ``[0, Π)``; :class:`PatternSpace`
+captures Π (the paper sets Π = 70) and offers the random draws used by the
+workload layer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+__all__ = ["LOCAL", "PatternSpace"]
+
+#: Sentinel "direction" used in subscription tables for local subscriptions
+#: (the dispatcher's own clients).  Real neighbor directions are node ids,
+#: which are always >= 0.
+LOCAL = -1
+
+
+class PatternSpace:
+    """The universe of patterns available in the system.
+
+    Parameters
+    ----------
+    size:
+        Π, the total number of patterns (paper default: 70).
+
+    >>> space = PatternSpace(70)
+    >>> space.contains(0), space.contains(69), space.contains(70)
+    (True, True, False)
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"pattern space size must be positive, got {size}")
+        self.size = size
+
+    def contains(self, pattern: int) -> bool:
+        return 0 <= pattern < self.size
+
+    def validate(self, pattern: int) -> None:
+        if not self.contains(pattern):
+            raise ValueError(
+                f"pattern {pattern} outside the space [0, {self.size})"
+            )
+
+    def sample_subscription(self, count: int, rng: random.Random) -> Tuple[int, ...]:
+        """Draw ``count`` distinct patterns uniformly (a dispatcher's
+        subscription set, the paper's πmax draw)."""
+        if count > self.size:
+            raise ValueError(
+                f"cannot draw {count} distinct patterns from a space of {self.size}"
+            )
+        return tuple(sorted(rng.sample(range(self.size), count)))
+
+    def sample_event_patterns(
+        self, rng: random.Random, max_patterns: int = 3
+    ) -> Tuple[int, ...]:
+        """Draw the content of one event.
+
+        The paper assumes "an event can match at most 3 patterns"
+        (footnote 5); we draw the number of patterns uniformly in
+        ``[1, max_patterns]`` and the patterns themselves uniformly without
+        replacement.
+        """
+        if max_patterns <= 0:
+            raise ValueError("events must contain at least one pattern")
+        count = rng.randint(1, min(max_patterns, self.size))
+        return tuple(sorted(rng.sample(range(self.size), count)))
+
+    @staticmethod
+    def matches(event_patterns: Sequence[int], pattern: int) -> bool:
+        """Content-based match: the event contains the subscribed number."""
+        return pattern in event_patterns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PatternSpace Π={self.size}>"

@@ -1,0 +1,180 @@
+"""Per-dispatcher subscription tables.
+
+A subscription table maps each pattern to the set of *directions* events
+matching it must be forwarded to.  A direction is either a neighbor node id
+(the subscription arrived from that neighbor, i.e. a subscriber lives in the
+subtree behind it) or the :data:`~repro.pubsub.pattern.LOCAL` sentinel (one
+of this dispatcher's own clients subscribed).
+
+The table also remembers, per pattern, the directions a subscription has
+already been forwarded to, implementing the paper's optimization:
+*"avoiding subscription forwarding of the same event pattern in the same
+direction"*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.pubsub.pattern import LOCAL
+
+__all__ = ["SubscriptionTable"]
+
+
+class SubscriptionTable:
+    """Routing state of one dispatcher.
+
+    The structure is intentionally simple: ``{pattern: set(direction)}``.
+    All query methods return deterministic (sorted) collections so that
+    simulations are reproducible regardless of hash randomization.
+    """
+
+    def __init__(self) -> None:
+        self._directions: Dict[int, Set[int]] = {}
+        self._forwarded: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, pattern: int, direction: int) -> bool:
+        """Record that ``direction`` wants events matching ``pattern``.
+
+        Returns ``True`` if the pattern was previously unknown to this
+        table (i.e. this is the first direction for it) -- the caller uses
+        this to decide whether to propagate the subscription further.
+        """
+        directions = self._directions.get(pattern)
+        if directions is None:
+            self._directions[pattern] = {direction}
+            return True
+        directions.add(direction)
+        return False
+
+    def remove(self, pattern: int, direction: int) -> None:
+        """Forget one direction; drops the pattern entirely when empty.
+
+        Forwarded marks are *kept*: they record what we told neighbors,
+        which stays true until an explicit unsubscription is sent
+        (``unmark_forwarded``) -- dropping them here would leave neighbors
+        believing we still want the pattern.
+        """
+        directions = self._directions.get(pattern)
+        if directions is None:
+            return
+        directions.discard(direction)
+        if not directions:
+            del self._directions[pattern]
+
+    def clear(self) -> None:
+        """Drop all routing state (used when routes are rebuilt)."""
+        self._directions.clear()
+        self._forwarded.clear()
+
+    def drop_direction(self, direction: int) -> None:
+        """Remove a neighbor from every pattern (neighbor disappeared)."""
+        empty = []
+        for pattern, directions in self._directions.items():
+            directions.discard(direction)
+            if not directions:
+                empty.append(pattern)
+        for pattern in empty:
+            del self._directions[pattern]
+        for forwarded in self._forwarded.values():
+            forwarded.discard(direction)
+
+    # ------------------------------------------------------------------
+    # Forwarding dedup (the paper's optimization)
+    # ------------------------------------------------------------------
+    def mark_forwarded(self, pattern: int, direction: int) -> bool:
+        """Record that the subscription for ``pattern`` was propagated to
+        ``direction``.  Returns ``False`` if it already had been (the caller
+        must then *not* forward again)."""
+        forwarded = self._forwarded.setdefault(pattern, set())
+        if direction in forwarded:
+            return False
+        forwarded.add(direction)
+        return True
+
+    def unmark_forwarded(self, pattern: int, direction: int) -> None:
+        """Forget that ``pattern`` was propagated to ``direction`` (after an
+        unsubscription), so a future re-subscription propagates again."""
+        forwarded = self._forwarded.get(pattern)
+        if forwarded is not None:
+            forwarded.discard(direction)
+
+    def was_forwarded(self, pattern: int, direction: int) -> bool:
+        return direction in self._forwarded.get(pattern, ())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def directions(self, pattern: int) -> List[int]:
+        """Sorted directions subscribed to ``pattern`` (may include LOCAL)."""
+        return sorted(self._directions.get(pattern, ()))
+
+    def neighbor_directions(self, pattern: int) -> List[int]:
+        """Sorted *neighbor* directions for ``pattern`` (LOCAL excluded)."""
+        return sorted(
+            d for d in self._directions.get(pattern, ()) if d != LOCAL
+        )
+
+    def has_pattern(self, pattern: int) -> bool:
+        return pattern in self._directions
+
+    def is_local(self, pattern: int) -> bool:
+        """True iff this dispatcher itself subscribes to ``pattern``."""
+        directions = self._directions.get(pattern)
+        return directions is not None and LOCAL in directions
+
+    def patterns(self) -> List[int]:
+        """All patterns known to the table (own + forwarded), sorted.
+
+        This is the pool the *push* algorithm draws from ("p is selected by
+        considering the whole subscription table").
+        """
+        return sorted(self._directions)
+
+    def local_patterns(self) -> List[int]:
+        """Patterns subscribed locally, sorted.
+
+        This is the pool the *subscriber-based pull* draws from ("chooses a
+        pattern p among the ones associated to subscriptions issued
+        locally").
+        """
+        return sorted(
+            pattern
+            for pattern, directions in self._directions.items()
+            if LOCAL in directions
+        )
+
+    def matching_directions(self, patterns: Iterable[int]) -> Set[int]:
+        """Union of directions over the given event content.
+
+        This is the reverse-path routing decision for an event: one event
+        may match several subscriptions, laid down on the same tree, so the
+        forwarding set is the union (each direction receives one copy).
+        """
+        result: Set[int] = set()
+        for pattern in patterns:
+            directions = self._directions.get(pattern)
+            if directions:
+                result |= directions
+        return result
+
+    def matches_locally(self, patterns: Iterable[int]) -> bool:
+        """True iff any of the event's patterns is locally subscribed."""
+        for pattern in patterns:
+            directions = self._directions.get(pattern)
+            if directions and LOCAL in directions:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._directions)
+
+    def __iter__(self) -> Iterator[Tuple[int, List[int]]]:
+        for pattern in sorted(self._directions):
+            yield pattern, self.directions(pattern)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SubscriptionTable patterns={len(self._directions)}>"

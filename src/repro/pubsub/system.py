@@ -1,0 +1,307 @@
+"""System assembly: tree + network + dispatchers + ground truth.
+
+:class:`PubSubSystem` owns the whole dispatching network and provides:
+
+* construction from a :class:`~repro.topology.tree.Tree`;
+* the user-facing subscribe / publish API;
+* the *route oracle*: direct computation of every subscription table from
+  the global subscription assignment and the current live overlay.  The
+  oracle produces exactly the tables the subscription-forwarding protocol
+  converges to (the test suite verifies this equivalence) and is what the
+  reconfiguration engine invokes when a repair completes -- modelling the
+  completion of the route-reconstruction protocol of [7];
+* ground-truth queries used by metrics ("which dispatchers *should* receive
+  this event in a fully reliable system?").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.network.network import Network
+from repro.pubsub.dispatcher import DeliveryCallback, Dispatcher
+from repro.pubsub.event import Event
+from repro.pubsub.pattern import LOCAL, PatternSpace
+from repro.sim.engine import Simulator
+from repro.topology.tree import Tree
+
+__all__ = ["PubSubSystem"]
+
+
+class PubSubSystem:
+    """The dispatching network as a single object.
+
+    Parameters
+    ----------
+    sim, network:
+        Engine and (empty) network; the constructor populates nodes/links.
+    tree:
+        Initial overlay tree.
+    pattern_space:
+        The universe of Π patterns.
+    buffer_size:
+        β, each dispatcher's event-cache capacity.
+    record_routes:
+        Enable route accumulation on event messages (publisher-based pull).
+    on_deliver:
+        Delivery callback propagated to every dispatcher.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        tree: Tree,
+        pattern_space: PatternSpace,
+        buffer_size: int,
+        record_routes: bool = False,
+        on_deliver: Optional[DeliveryCallback] = None,
+        cache_policy: str = "fifo",
+        cache_rng_factory=None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.pattern_space = pattern_space
+        self.dispatchers: List[Dispatcher] = []
+        for node_id in range(tree.node_count):
+            dispatcher = Dispatcher(
+                node_id,
+                sim,
+                network,
+                pattern_space,
+                buffer_size,
+                record_routes=record_routes,
+                on_deliver=on_deliver,
+                cache_policy=cache_policy,
+                cache_rng=cache_rng_factory(node_id) if cache_rng_factory else None,
+            )
+            network.add_node(dispatcher)
+            self.dispatchers.append(dispatcher)
+        for a, b in tree.edges:
+            network.add_link(a, b)
+        #: ground-truth subscription assignment: node -> set of patterns.
+        self._subscriptions: Dict[int, Set[int]] = {
+            node_id: set() for node_id in range(tree.node_count)
+        }
+        #: per-pattern subscriber sets (derived, kept in sync).
+        self._subscribers: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self.dispatchers)
+
+    def dispatcher(self, node_id: int) -> Dispatcher:
+        return self.dispatchers[node_id]
+
+    def set_delivery_callback(self, on_deliver: DeliveryCallback) -> None:
+        for dispatcher in self.dispatchers:
+            dispatcher.on_deliver = on_deliver
+
+    # ------------------------------------------------------------------
+    # Subscribing
+    # ------------------------------------------------------------------
+    def subscribe(self, node_id: int, pattern: int, via_protocol: bool = True) -> None:
+        """Subscribe ``node_id`` to ``pattern``.
+
+        With ``via_protocol`` the subscription propagates with real
+        messages; otherwise only the ground truth is updated and the caller
+        must invoke :meth:`rebuild_routes` (the oracle) afterwards --
+        scenario builders use the oracle to start runs from the
+        stable-subscription state the paper evaluates.
+        """
+        self.pattern_space.validate(pattern)
+        self._subscriptions[node_id].add(pattern)
+        self._subscribers.setdefault(pattern, set()).add(node_id)
+        if via_protocol:
+            self.dispatchers[node_id].subscribe(pattern)
+
+    def unsubscribe(self, node_id: int, pattern: int, via_protocol: bool = True) -> None:
+        self._subscriptions[node_id].discard(pattern)
+        subscribers = self._subscribers.get(pattern)
+        if subscribers is not None:
+            subscribers.discard(node_id)
+            if not subscribers:
+                del self._subscribers[pattern]
+        if via_protocol:
+            self.dispatchers[node_id].unsubscribe(pattern)
+
+    def apply_subscriptions(self, assignment: Mapping[int, Iterable[int]]) -> None:
+        """Install a whole subscription assignment via the oracle."""
+        for node_id, patterns in assignment.items():
+            for pattern in patterns:
+                self.subscribe(node_id, pattern, via_protocol=False)
+        self.rebuild_routes()
+
+    def subscriptions_of(self, node_id: int) -> FrozenSet[int]:
+        return frozenset(self._subscriptions[node_id])
+
+    def subscribers_of(self, pattern: int) -> FrozenSet[int]:
+        return frozenset(self._subscribers.get(pattern, frozenset()))
+
+    def subscribed_patterns(self) -> List[int]:
+        """Patterns with at least one subscriber, sorted."""
+        return sorted(self._subscribers)
+
+    # ------------------------------------------------------------------
+    # Ground truth for metrics
+    # ------------------------------------------------------------------
+    def expected_recipients(self, event: Event) -> Set[int]:
+        """Dispatchers that receive ``event`` in a fully reliable system:
+        every subscriber of any pattern the event contains (including the
+        publisher itself when it subscribes -- local delivery is lossless).
+        """
+        recipients: Set[int] = set()
+        for pattern in event.patterns:
+            subscribers = self._subscribers.get(pattern)
+            if subscribers:
+                recipients |= subscribers
+        return recipients
+
+    # ------------------------------------------------------------------
+    # The route oracle
+    # ------------------------------------------------------------------
+    def rebuild_routes(self) -> None:
+        """Recompute every subscription table from ground truth.
+
+        For each pattern ``p`` and live component of the overlay, a node
+        ``x`` forwards ``p``-matching events toward neighbor ``n`` iff the
+        component side reached through ``n`` contains a subscriber of
+        ``p``.  Computed with one two-pass traversal per pattern:
+        post-order ("does the subtree below this edge hold a subscriber?")
+        then pre-order (push the complement down).  O(Π_active · N).
+
+        Forwarded marks are reset to the protocol-equivalent state so that
+        later protocol-based (un)subscriptions compose correctly.
+        """
+        adjacency: Dict[int, List[int]] = {
+            node_id: self.network.neighbors(node_id)
+            for node_id in range(self.node_count)
+        }
+        for dispatcher in self.dispatchers:
+            dispatcher.table.clear()
+        for node_id, patterns in self._subscriptions.items():
+            table = self.dispatchers[node_id].table
+            for pattern in patterns:
+                table.add(pattern, LOCAL)
+        for pattern, subscribers in self._subscribers.items():
+            if subscribers:
+                self._lay_routes_for_pattern(adjacency, pattern, subscribers)
+        # Protocol-equivalent forwarded marks: x has forwarded p toward m
+        # iff x's side of the x--m edge contains a subscriber, which is
+        # exactly when m's table points at x for p.
+        for dispatcher in self.dispatchers:
+            for pattern, directions in dispatcher.table:
+                for direction in directions:
+                    if direction == LOCAL:
+                        continue
+                    self.dispatchers[direction].table.mark_forwarded(
+                        pattern, dispatcher.node_id
+                    )
+
+    def _lay_routes_for_pattern(
+        self,
+        adjacency: Mapping[int, List[int]],
+        pattern: int,
+        subscribers: Set[int],
+    ) -> None:
+        visited: Set[int] = set()
+        for start in range(self.node_count):
+            if start in visited:
+                continue
+            component_order, parents = self._traversal_order(adjacency, start)
+            visited.update(component_order)
+            if not subscribers.intersection(component_order):
+                continue
+            # Post-order pass: does the subtree rooted at x (w.r.t. this
+            # traversal) contain a subscriber?
+            has_sub_below: Dict[int, bool] = {}
+            for node in reversed(component_order):
+                below = node in subscribers
+                if not below:
+                    for neighbor in adjacency[node]:
+                        if parents.get(neighbor) == node and has_sub_below[neighbor]:
+                            below = True
+                            break
+                has_sub_below[node] = below
+            # Pre-order pass: does the rest of the component (through the
+            # parent edge) contain a subscriber?
+            has_sub_above: Dict[int, bool] = {start: False}
+            for node in component_order:
+                children = [
+                    neighbor
+                    for neighbor in adjacency[node]
+                    if parents.get(neighbor) == node
+                ]
+                sub_here = node in subscribers
+                above = has_sub_above[node]
+                children_with_sub = sum(
+                    1 for child in children if has_sub_below[child]
+                )
+                for child in children:
+                    others = children_with_sub - (1 if has_sub_below[child] else 0)
+                    has_sub_above[child] = above or sub_here or others > 0
+            # Install directions.
+            for node in component_order:
+                table = self.dispatchers[node].table
+                parent = parents.get(node)
+                if parent is not None and has_sub_above[node]:
+                    table.add(pattern, parent)
+                for neighbor in adjacency[node]:
+                    if parents.get(neighbor) == node and has_sub_below[neighbor]:
+                        table.add(pattern, neighbor)
+
+    def repair_routes_via_protocol(self) -> None:
+        """Rebuild routes with *real* subscription messages.
+
+        The message-level alternative to the :meth:`rebuild_routes`
+        oracle: every table (and its forwarded marks) is flushed, then
+        each dispatcher re-issues its local subscriptions through the
+        normal subscription-forwarding protocol.  Routes come back only
+        as the SUBSCRIBE messages propagate hop by hop -- so events
+        published during the transient can be lost even after the link is
+        physically repaired, which is precisely the realism the oracle
+        trades away.
+
+        Intended for reliable-link scenarios (the paper's Figure 3(b)
+        setting); on lossy links subscription messages themselves can be
+        lost, leaving routes permanently broken -- a deliberate
+        difference, flagged in DESIGN.md.
+        """
+        for dispatcher in self.dispatchers:
+            dispatcher.table.clear()
+        for node_id in sorted(self._subscriptions):
+            dispatcher = self.dispatchers[node_id]
+            for pattern in sorted(self._subscriptions[node_id]):
+                dispatcher.subscribe(pattern)
+
+    @staticmethod
+    def _traversal_order(
+        adjacency: Mapping[int, List[int]], start: int
+    ) -> Tuple[List[int], Dict[int, Optional[int]]]:
+        """BFS order and parent map of the component containing ``start``."""
+        order = [start]
+        parents: Dict[int, Optional[int]] = {start: None}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor in adjacency[node]:
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    order.append(neighbor)
+                    queue.append(neighbor)
+        return order, parents
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, node_id: int, patterns: Tuple[int, ...]) -> Event:
+        """Publish an event with content ``patterns`` from ``node_id``."""
+        return self.dispatchers[node_id].publish(patterns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PubSubSystem n={self.node_count} "
+            f"patterns={len(self._subscribers)} links={self.network.link_count}>"
+        )

@@ -1,0 +1,249 @@
+"""Common machinery of every recovery algorithm.
+
+All the paper's algorithms share one skeleton (Section III-B): each
+dispatcher periodically starts a gossip round; the gossiper builds a digest
+and sends it to some neighbors, which propagate it along the dispatching
+tree; missing events are finally transferred over the out-of-band channel.
+
+:class:`RecoveryAlgorithm` implements the skeleton (the timer with random
+initial phase, statistics, the out-of-band retransmission handler) and
+leaves :meth:`gossip_round` / :meth:`handle_gossip` to subclasses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.pubsub.dispatcher import Dispatcher
+from repro.pubsub.event import EventId
+from repro.sim.timers import PeriodicTimer
+
+__all__ = ["RecoveryConfig", "GossipStats", "RecoveryAlgorithm"]
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Tunables shared by all recovery algorithms.
+
+    Defaults follow Figure 2 where the paper gives a value, and DESIGN.md
+    Section 2 where it does not (``p_forward``, ``p_source``, digest and
+    hop limits).
+    """
+
+    #: The paper's T: seconds between two gossip rounds of one dispatcher.
+    gossip_interval: float = 0.03
+    #: Probability of forwarding a gossip message to each eligible neighbor.
+    p_forward: float = 0.8
+    #: Combined pull: probability that a round is publisher-based.
+    p_source: float = 0.5
+    #: Hop budget for the randomly routed variants.
+    random_hop_limit: int = 10
+    #: Maximum entries carried by one digest (push and pull).
+    digest_limit: int = 400
+    #: Capacity of the Lost buffer (None = unbounded).
+    lost_capacity: Optional[int] = None
+    #: Give up on losses older than this many seconds (None = never).
+    give_up_age: Optional[float] = None
+    #: When true, push skips rounds whose digest would be empty (ablation
+    #: knob; the paper's push "must proactively push at each gossip round").
+    push_skip_empty: bool = False
+    #: Adaptive push (extension): interval bounds and adaptation factor.
+    adaptive_min_interval: float = 0.01
+    adaptive_max_interval: float = 0.24
+    adaptive_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.gossip_interval <= 0:
+            raise ValueError(f"gossip_interval must be > 0, got {self.gossip_interval}")
+        if not 0.0 <= self.p_forward <= 1.0:
+            raise ValueError(f"p_forward must be in [0, 1], got {self.p_forward}")
+        if not 0.0 <= self.p_source <= 1.0:
+            raise ValueError(f"p_source must be in [0, 1], got {self.p_source}")
+        if self.random_hop_limit < 1:
+            raise ValueError("random_hop_limit must be >= 1")
+        if self.digest_limit < 1:
+            raise ValueError("digest_limit must be >= 1")
+
+
+@dataclass
+class GossipStats:
+    """Per-dispatcher recovery statistics."""
+
+    rounds: int = 0
+    rounds_skipped: int = 0
+    gossip_sent: int = 0
+    gossip_handled: int = 0
+    requests_sent: int = 0
+    requests_served: int = 0
+    retransmissions_sent: int = 0
+    cache_short_circuits: int = 0
+
+    def merge(self, other: "GossipStats") -> None:
+        self.rounds += other.rounds
+        self.rounds_skipped += other.rounds_skipped
+        self.gossip_sent += other.gossip_sent
+        self.gossip_handled += other.gossip_handled
+        self.requests_sent += other.requests_sent
+        self.requests_served += other.requests_served
+        self.retransmissions_sent += other.retransmissions_sent
+        self.cache_short_circuits += other.cache_short_circuits
+
+
+class RecoveryAlgorithm:
+    """Base class: gossip timer, statistics, out-of-band plumbing.
+
+    Parameters
+    ----------
+    dispatcher:
+        The dispatcher this instance serves (one recovery instance per
+        dispatcher).
+    rng:
+        Node-local random stream (gossip choices must not depend on global
+        event interleaving).
+    config:
+        Shared tunables.
+    """
+
+    #: Registry name; overridden by subclasses.
+    name = "abstract"
+    #: Whether the scenario builder must enable route recording on event
+    #: messages (publisher-based and combined pull need it).
+    requires_route_recording = False
+    #: Whether the algorithm detects losses via sequence numbers.
+    uses_loss_detection = False
+
+    def __init__(
+        self,
+        dispatcher: Dispatcher,
+        rng: random.Random,
+        config: RecoveryConfig,
+    ) -> None:
+        self.dispatcher = dispatcher
+        self.rng = rng
+        self.config = config
+        self.stats = GossipStats()
+        phase = rng.random() * config.gossip_interval
+        self.timer = PeriodicTimer(
+            dispatcher.sim, config.gossip_interval, self._round, phase=phase
+        )
+        dispatcher.attach_recovery(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self.dispatcher.node_id
+
+    def start(self) -> None:
+        """Begin gossiping (first round after the random initial phase)."""
+        self.timer.start()
+
+    def stop(self) -> None:
+        self.timer.stop()
+
+    def _round(self) -> None:
+        self.stats.rounds += 1
+        self.gossip_round()
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def gossip_round(self) -> None:
+        """Run one gossip round as the gossiper role."""
+        raise NotImplementedError
+
+    def handle_gossip(self, payload: Any, from_node: int) -> None:
+        """Process a gossip message received from a tree neighbor."""
+        raise NotImplementedError
+
+    def on_event_received(self, event, route) -> None:
+        """Observe an event arrival (normal routing or recovery).
+
+        ``route`` is the forward route recorded in the event message, or
+        ``None`` for out-of-band recoveries and when route recording is
+        off.  The base implementation does nothing (push needs no
+        per-event state beyond what the dispatcher already keeps).
+        """
+
+    def on_event_published(self, event) -> None:
+        """Observe a local publish (before routing).
+
+        Only the acknowledgment-based comparator uses this; the epidemic
+        algorithms need no publisher-side bookkeeping beyond the cache.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared primitives
+    # ------------------------------------------------------------------
+    def forward_along_pattern(
+        self, pattern: int, payload: Any, exclude: Optional[int]
+    ) -> int:
+        """Send ``payload`` toward subscribers of ``pattern``.
+
+        Each neighbor with a subscription for ``pattern`` (other than
+        ``exclude``, the previous hop) receives the gossip message with
+        probability ``P_forward``.  Returns the number of copies sent.
+        """
+        sent = 0
+        p_forward = self.config.p_forward
+        for neighbor in self.dispatcher.gossip_targets(pattern, exclude):
+            if self.rng.random() < p_forward:
+                self.dispatcher.send_gossip(neighbor, payload)
+                sent += 1
+        self.stats.gossip_sent += sent
+        return sent
+
+    def forward_randomly(self, payload: Any, exclude: Optional[int]) -> int:
+        """Forward ``payload`` to *one* uniformly random neighbor.
+
+        This is the "routing performed entirely at random" of the paper's
+        random-pull/-push controls: a random walk over the overlay
+        (previous hop excluded when another choice exists), with the hop
+        budget carried in the payload.  Returns the number of copies sent
+        (0 when the node has no usable neighbor).
+        """
+        neighbors = [
+            neighbor
+            for neighbor in self.dispatcher.neighbors()
+            if neighbor != exclude
+        ]
+        if not neighbors:
+            neighbors = self.dispatcher.neighbors()
+            if not neighbors:
+                return 0
+        choice = neighbors[self.rng.randrange(len(neighbors))]
+        self.dispatcher.send_gossip(choice, payload)
+        self.stats.gossip_sent += 1
+        return 1
+
+    def handle_oob_request(
+        self, payload: Tuple[EventId, ...], from_node: int
+    ) -> None:
+        """Serve a push-style request: retransmit every cached event asked
+        for.  Requests for events already evicted are silently unmet (the
+        requester will try again at a later gossip round)."""
+        self.stats.requests_served += 1
+        for event_id in payload:
+            event = self.dispatcher.cache.get(event_id)
+            if event is not None:
+                self.dispatcher.send_oob_event(from_node, event)
+                self.stats.retransmissions_sent += 1
+
+    def serve_from_cache(self, entries, requester: int):
+        """Pull-style short-circuit: retransmit the cached subset of a
+        negative digest and return the entries still unmet."""
+        remaining = []
+        cache = self.dispatcher.cache
+        for source, pattern, seq in entries:
+            event = cache.get_by_loss_key(source, pattern, seq)
+            if event is None:
+                remaining.append((source, pattern, seq))
+            else:
+                self.dispatcher.send_oob_event(requester, event)
+                self.stats.retransmissions_sent += 1
+                self.stats.cache_short_circuits += 1
+        return tuple(remaining)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} node={self.node_id} rounds={self.stats.rounds}>"

@@ -1,0 +1,191 @@
+"""Sequence-number loss detection and the ``Lost`` buffer.
+
+Section III-B: *"Whenever a dispatcher receives an event matching a pattern
+p, but for which the sequence number associated to p in the event identifier
+is greater than the one expected for that pattern and source, it can detect
+the loss of an event"*.
+
+:class:`LossDetector` tracks, per ``(source, pattern)`` stream the
+dispatcher locally subscribes to, the highest sequence number seen and the
+set of missing ones.  Detected losses live in the ``Lost`` buffer until
+the event is recovered (any arrival -- normal or out-of-band -- satisfies
+them), the buffer overflows (oldest entries are abandoned), or they exceed
+an optional age limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.pubsub.event import Event
+
+__all__ = ["LostEntry", "LossDetector"]
+
+LostKey = Tuple[int, int, int]  # (source, pattern, pattern_seq)
+
+
+class LostEntry:
+    """One detected loss, with its detection time (for ageing policies)."""
+
+    __slots__ = ("source", "pattern", "seq", "detected_at")
+
+    def __init__(self, source: int, pattern: int, seq: int, detected_at: float) -> None:
+        self.source = source
+        self.pattern = pattern
+        self.seq = seq
+        self.detected_at = detected_at
+
+    def key(self) -> LostKey:
+        return (self.source, self.pattern, self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LostEntry(src={self.source}, p={self.pattern}, seq={self.seq})"
+
+
+class _StreamState:
+    """Per-(source, pattern) tracking state."""
+
+    __slots__ = ("max_seen", "missing")
+
+    def __init__(self) -> None:
+        self.max_seen = 0
+        self.missing: Set[int] = set()
+
+
+class LossDetector:
+    """Detect and book-keep lost events for one dispatcher.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries in the ``Lost`` buffer; when exceeded the
+        oldest entries are dropped ("abandoned").  ``None`` = unbounded.
+    give_up_age:
+        Entries older than this (in simulated seconds) are pruned lazily at
+        query time.  ``None`` = never.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        give_up_age: Optional[float] = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"Lost capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.give_up_age = give_up_age
+        self._streams: Dict[Tuple[int, int], _StreamState] = {}
+        self._lost: "OrderedDict[LostKey, LostEntry]" = OrderedDict()
+        # Statistics.
+        self.detected = 0
+        self.recovered = 0
+        self.abandoned = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, event: Event, local_patterns, now: float) -> List[LostEntry]:
+        """Process one received event (normal or recovered).
+
+        ``local_patterns`` is a container supporting ``in`` with the
+        patterns this dispatcher locally subscribes to: gaps are only
+        detectable (and only relevant) on locally subscribed streams.
+        Returns the newly detected losses.
+        """
+        new_losses: List[LostEntry] = []
+        source = event.source
+        for pattern, seq in event.pattern_seqs.items():
+            if pattern not in local_patterns:
+                continue
+            state = self._streams.get((source, pattern))
+            if state is None:
+                state = _StreamState()
+                self._streams[(source, pattern)] = state
+            if seq in state.missing:
+                state.missing.discard(seq)
+                entry = self._lost.pop((source, pattern, seq), None)
+                if entry is not None:
+                    self.recovered += 1
+            elif seq > state.max_seen:
+                for missing_seq in range(state.max_seen + 1, seq):
+                    state.missing.add(missing_seq)
+                    entry = LostEntry(source, pattern, missing_seq, now)
+                    self._lost[entry.key()] = entry
+                    new_losses.append(entry)
+                    self.detected += 1
+                state.max_seen = seq
+                self._enforce_capacity()
+            # else: duplicate or already-accounted arrival -- nothing to do.
+        return new_losses
+
+    def _enforce_capacity(self) -> None:
+        if self.capacity is None:
+            return
+        while len(self._lost) > self.capacity:
+            _key, entry = self._lost.popitem(last=False)
+            self._forget(entry)
+            self.abandoned += 1
+
+    def _forget(self, entry: LostEntry) -> None:
+        state = self._streams.get((entry.source, entry.pattern))
+        if state is not None:
+            state.missing.discard(entry.seq)
+
+    def _prune_aged(self, now: float) -> None:
+        if self.give_up_age is None:
+            return
+        cutoff = now - self.give_up_age
+        stale = [key for key, entry in self._lost.items() if entry.detected_at < cutoff]
+        for key in stale:
+            entry = self._lost.pop(key)
+            self._forget(entry)
+            self.abandoned += 1
+
+    # ------------------------------------------------------------------
+    # Queries used by the gossip rounds
+    # ------------------------------------------------------------------
+    def has_losses(self, now: float = float("inf")) -> bool:
+        self._prune_aged(now)
+        return bool(self._lost)
+
+    def pending(self) -> int:
+        return len(self._lost)
+
+    def patterns_with_losses(self, now: float = float("inf")) -> List[int]:
+        """Sorted patterns with at least one pending loss."""
+        self._prune_aged(now)
+        return sorted({entry.pattern for entry in self._lost.values()})
+
+    def sources_with_losses(self, now: float = float("inf")) -> List[int]:
+        """Sorted sources with at least one pending loss."""
+        self._prune_aged(now)
+        return sorted({entry.source for entry in self._lost.values()})
+
+    def entries_for_pattern(self, pattern: int, limit: Optional[int] = None) -> List[LostKey]:
+        """Oldest-first loss keys for ``pattern`` (subscriber-based pull)."""
+        keys = [
+            entry.key() for entry in self._lost.values() if entry.pattern == pattern
+        ]
+        if limit is not None:
+            keys = keys[:limit]
+        return keys
+
+    def entries_for_source(self, source: int, limit: Optional[int] = None) -> List[LostKey]:
+        """Oldest-first loss keys for ``source`` (publisher-based pull)."""
+        keys = [
+            entry.key() for entry in self._lost.values() if entry.source == source
+        ]
+        if limit is not None:
+            keys = keys[:limit]
+        return keys
+
+    def is_pending(self, source: int, pattern: int, seq: int) -> bool:
+        return (source, pattern, seq) in self._lost
+
+    def __len__(self) -> int:
+        return len(self._lost)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<LossDetector pending={len(self._lost)} detected={self.detected} "
+            f"recovered={self.recovered} abandoned={self.abandoned}>"
+        )

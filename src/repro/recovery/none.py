@@ -1,0 +1,33 @@
+"""The no-recovery baseline.
+
+Every chart in the paper includes a "no recovery" curve: the delivery rate
+of the best-effort substrate alone.  :class:`NoRecovery` implements the
+recovery interface as no-ops (and never arms its gossip timer), so the same
+scenario code runs with and without recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.recovery.base import RecoveryAlgorithm
+
+__all__ = ["NoRecovery"]
+
+
+class NoRecovery(RecoveryAlgorithm):
+    """Baseline: lost events stay lost."""
+
+    name = "none"
+
+    def start(self) -> None:
+        """No gossip timer: the baseline never communicates."""
+
+    def gossip_round(self) -> None:  # pragma: no cover - timer never starts
+        pass
+
+    def handle_gossip(self, payload: Any, from_node: int) -> None:
+        """Ignore stray gossip (possible only in mixed-algorithm setups)."""
+
+    def handle_oob_request(self, payload: Any, from_node: int) -> None:
+        """Ignore requests: the baseline does not retransmit."""

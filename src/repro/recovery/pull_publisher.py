@@ -1,0 +1,39 @@
+"""Publisher-based pull (Section III-B).
+
+Reactive, negative digests routed *toward the event source* instead of
+toward fellow subscribers.  Requires two pieces of extra machinery, both
+implemented by the substrate:
+
+* publishers cache the events they publish (the dispatcher always caches
+  its own events);
+* event messages accumulate the dispatchers they traverse, so receivers
+  can remember a route back to each publisher (the ``Routes`` buffer).
+
+Each round the gossiper picks a source with pending losses and unicasts the
+digest hop-by-hop along the recorded route; any dispatcher on the way can
+short-circuit with its cache, and the source itself is the last resort.
+Routes may be stale after reconfigurations -- the paper accepts that "it is
+likely that the two share at least the first portion or, in the worst case,
+the publisher".
+
+This variant shines exactly where subscriber-based pull is weak (patterns
+with a single subscriber) and vice versa, which is why the paper combines
+them.
+"""
+
+from __future__ import annotations
+
+from repro.recovery.pull_base import PullRecoveryBase
+
+__all__ = ["PublisherPullRecovery"]
+
+
+class PublisherPullRecovery(PullRecoveryBase):
+    """The paper's publisher-based pull algorithm."""
+
+    name = "publisher-pull"
+    requires_route_recording = True
+
+    def gossip_round(self) -> None:
+        if not self.publisher_round():
+            self.stats.rounds_skipped += 1

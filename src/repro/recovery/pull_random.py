@@ -1,0 +1,52 @@
+"""Random pull -- the evaluation's routing control.
+
+Section IV: *"we also simulate the behavior of a random pull approach where
+routing of gossip messages is performed entirely at random.  This
+alternative allows us to evaluate if the extra effort of deciding how to
+route gossip messages is worthwhile."*
+
+The digest construction is identical to subscriber-based pull (negative
+digest over the ``Lost`` buffer); only the routing differs: the message
+performs a random walk -- each hop forwards it to one uniformly random
+neighbor, regardless of subscriptions, within a hop budget.
+Short-circuiting from caches still applies.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.recovery.digest import RandomPullGossip
+from repro.recovery.pull_base import PullRecoveryBase
+
+__all__ = ["RandomPullRecovery"]
+
+
+class RandomPullRecovery(PullRecoveryBase):
+    """Negative digests, uniformly random routing."""
+
+    name = "random-pull"
+
+    def gossip_round(self) -> None:
+        now = self.dispatcher.sim.now
+        patterns = self.detector.patterns_with_losses(now)
+        if not patterns:
+            self.stats.rounds_skipped += 1
+            return
+        pattern = patterns[self.rng.randrange(len(patterns))]
+        entries = tuple(
+            self.detector.entries_for_pattern(pattern, self.config.digest_limit)
+        )
+        payload = RandomPullGossip(
+            self.node_id, entries, self.config.random_hop_limit
+        )
+        self.forward_randomly(payload, exclude=None)
+
+    def handle_gossip(self, payload: Any, from_node: int) -> None:
+        if not isinstance(payload, RandomPullGossip):
+            super().handle_gossip(payload, from_node)
+            return
+        self.stats.gossip_handled += 1
+        remaining = self.serve_from_cache(payload.entries, payload.gossiper)
+        if remaining and payload.hops_left > 1:
+            self.forward_randomly(payload.next_hop(remaining), exclude=from_node)

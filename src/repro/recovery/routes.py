@@ -1,0 +1,61 @@
+"""The ``Routes`` buffer of publisher-based pull.
+
+Section III-B: *"a new buffer Routes is necessary to store the route towards
+a given publisher (e.g., based on the route information stored in the event
+most recently received from it)"*.
+
+The buffer maps a source dispatcher to the hop sequence leading back to it,
+most recent observation wins.  Routes can go stale after a reconfiguration;
+the algorithm tolerates that (the gossip message is simply dropped at the
+first missing hop -- "there is no guarantee that the route stored in Routes
+is the same originally followed by the missing event").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["RoutesBuffer"]
+
+
+class RoutesBuffer:
+    """Most-recently-observed reverse routes toward each event source."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[int, Tuple[int, ...]] = {}
+        self.updates = 0
+
+    def update_from_event_route(self, source: int, route: Tuple[int, ...]) -> None:
+        """Record the reverse of the route carried by an event message.
+
+        ``route`` is the forward path the event travelled, publisher first
+        and previous hop last; the stored reverse route therefore starts at
+        our previous hop and ends at the source.
+        """
+        if not route:
+            return
+        if route[0] != source:
+            raise ValueError(
+                f"event route must start at its source {source}, got {route}"
+            )
+        self._routes[source] = tuple(reversed(route))
+        self.updates += 1
+
+    def route_to(self, source: int) -> Optional[Tuple[int, ...]]:
+        """Hop sequence toward ``source`` (next hop first, source last)."""
+        return self._routes.get(source)
+
+    def known_sources(self) -> List[int]:
+        return sorted(self._routes)
+
+    def forget(self, source: int) -> None:
+        self._routes.pop(source, None)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, source: int) -> bool:
+        return source in self._routes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RoutesBuffer sources={len(self._routes)} updates={self.updates}>"

@@ -1,0 +1,252 @@
+"""Build one complete simulation from a :class:`SimulationConfig`.
+
+The :class:`Simulation` object owns every layer -- engine, tree, network,
+dispatchers, recovery instances, workload processes, reconfiguration engine,
+and metrics -- and knows how to run itself to completion and summarize the
+outcome as a :class:`~repro.scenarios.results.RunResult`.
+
+Randomness is split into independent named streams so that runs are
+comparable across algorithms: the topology, the subscription assignment,
+the workload, and the link-loss draws do not depend on which recovery
+algorithm is active.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.metrics.counters import MessageCounters
+from repro.metrics.delivery import DeliveryTracker
+from repro.network.network import Network
+from repro.pubsub.event import Event
+from repro.pubsub.pattern import PatternSpace
+from repro.pubsub.system import PubSubSystem
+from repro.recovery import ALGORITHMS, create_recovery
+from repro.recovery.base import GossipStats, RecoveryAlgorithm
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.results import RunResult
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.topology.generator import build_tree
+from repro.topology.reconfiguration import ReconfigurationEngine
+from repro.topology.tree import Tree
+from repro.workload.publishers import PublisherProcess
+from repro.workload.subscriptions import assign_subscriptions
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """A fully wired simulation, ready to :meth:`run`."""
+
+    def __init__(self, config: SimulationConfig, tree: Optional[Tree] = None) -> None:
+        if config.algorithm not in ALGORITHMS:
+            raise KeyError(
+                f"unknown algorithm {config.algorithm!r}; known: {sorted(ALGORITHMS)}"
+            )
+        self.config = config
+        self.streams = RandomStreams(config.seed)
+        self.sim = Simulator()
+
+        # --- topology ---------------------------------------------------
+        self.tree = tree or build_tree(
+            config.tree_style,
+            config.n_dispatchers,
+            self.streams.stream("topology"),
+            config.max_degree,
+        )
+        if self.tree.node_count != config.n_dispatchers:
+            raise ValueError(
+                f"tree has {self.tree.node_count} nodes, config says "
+                f"{config.n_dispatchers}"
+            )
+
+        # --- metrics ----------------------------------------------------
+        self.counters = MessageCounters(config.n_dispatchers)
+        self.tracker = DeliveryTracker()
+
+        # --- network + dispatchers ---------------------------------------
+        self.network = Network(
+            self.sim,
+            config.network_config(),
+            self.streams.stream("loss"),
+            observer=self.counters,
+        )
+        self.pattern_space = PatternSpace(config.n_patterns)
+        algorithm_cls = ALGORITHMS[config.algorithm]
+        self.system = PubSubSystem(
+            self.sim,
+            self.network,
+            self.tree,
+            self.pattern_space,
+            config.buffer_size,
+            record_routes=algorithm_cls.requires_route_recording,
+            on_deliver=self._on_deliver,
+            cache_policy=config.cache_policy,
+            cache_rng_factory=(
+                (lambda node_id: self.streams.stream(f"cache[{node_id}]"))
+                if config.cache_policy == "random"
+                else None
+            ),
+        )
+
+        # --- subscriptions (stable regime: laid down via the oracle) -----
+        self.subscription_assignment = assign_subscriptions(
+            config.n_dispatchers,
+            config.pi_max,
+            self.pattern_space,
+            self.streams.stream("subscriptions"),
+            exact=config.subscriptions_exact,
+        )
+        self.system.apply_subscriptions(self.subscription_assignment)
+
+        # --- recovery -----------------------------------------------------
+        recovery_config = config.recovery_config()
+        self.recoveries: List[RecoveryAlgorithm] = [
+            create_recovery(
+                config.algorithm,
+                dispatcher,
+                self.streams.stream(f"gossip[{dispatcher.node_id}]"),
+                recovery_config,
+            )
+            for dispatcher in self.system.dispatchers
+        ]
+        # The idealized acknowledgment comparator needs global knowledge
+        # of each event's recipients (see repro.recovery.ack).
+        for recovery in self.recoveries:
+            if hasattr(recovery, "recipient_resolver"):
+                recovery.recipient_resolver = self.system.expected_recipients
+
+        # --- workload -----------------------------------------------------
+        for dispatcher in self.system.dispatchers:
+            dispatcher.on_publish = self._on_publish
+        self.publishers = [
+            PublisherProcess(
+                self.system,
+                node_id,
+                config.publish_rate,
+                self.streams.stream(f"workload[{node_id}]"),
+                model=config.publish_model,
+                max_event_patterns=config.max_event_patterns,
+            )
+            for node_id in range(config.n_dispatchers)
+        ]
+
+        # --- reconfiguration ----------------------------------------------
+        self.reconfiguration: Optional[ReconfigurationEngine] = None
+        if config.reconfiguration_interval is not None:
+            repair_routes = (
+                self.system.rebuild_routes
+                if config.route_repair == "oracle"
+                else self.system.repair_routes_via_protocol
+            )
+            self.reconfiguration = ReconfigurationEngine(
+                self.sim,
+                self.network,
+                self.streams.stream("reconfiguration"),
+                interval=config.reconfiguration_interval,
+                repair_delay=config.repair_delay,
+                max_degree=config.max_degree,
+                on_topology_changed=repair_routes,
+            )
+
+        self._receiver_pair_total = 0
+        self._started = False
+        self._wall_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _on_publish(self, event: Event) -> None:
+        expected = self.system.expected_recipients(event)
+        self._receiver_pair_total += len(expected)
+        self.tracker.on_publish(event, expected)
+
+    def _on_deliver(self, node_id: int, event: Event, recovered: bool) -> None:
+        self.tracker.on_deliver(node_id, event, recovered, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm recovery timers, publishers, and the reconfiguration engine."""
+        if self._started:
+            return
+        self._started = True
+        for recovery in self.recoveries:
+            recovery.start()
+        for publisher in self.publishers:
+            publisher.start()
+        if self.reconfiguration is not None:
+            self.reconfiguration.start()
+
+    def run(self, until: Optional[float] = None) -> RunResult:
+        """Run to ``until`` (default: the configured ``sim_time``) and
+        summarize.  Can be called repeatedly with growing horizons."""
+        horizon = self.config.sim_time if until is None else until
+        self.start()
+        wall_start = time.perf_counter()
+        self.sim.run(until=horizon)
+        self._wall_seconds += time.perf_counter() - wall_start
+        return self.collect_result()
+
+    # ------------------------------------------------------------------
+    # Summarization
+    # ------------------------------------------------------------------
+    def collect_result(self) -> RunResult:
+        config = self.config
+        gossip_stats = GossipStats()
+        losses_detected = losses_recovered = losses_abandoned = 0
+        for recovery in self.recoveries:
+            gossip_stats.merge(recovery.stats)
+            detector = getattr(recovery, "detector", None)
+            if detector is not None:
+                losses_detected += detector.detected
+                losses_recovered += detector.recovered
+                losses_abandoned += detector.abandoned
+        events_published = sum(p.published for p in self.publishers)
+        receivers_per_event = (
+            self._receiver_pair_total / self.tracker.event_count()
+            if self.tracker.event_count()
+            else 0.0
+        )
+        return RunResult(
+            config=config,
+            delivery=self.tracker.stats(
+                config.measure_start, config.effective_measure_end
+            ),
+            delivery_full=self.tracker.stats(),
+            series=self.tracker.time_series(
+                config.bin_width, 0.0, config.sim_time, include_recovery=True
+            ),
+            series_baseline=self.tracker.time_series(
+                config.bin_width, 0.0, config.sim_time, include_recovery=False
+            ),
+            messages=self.counters.snapshot(),
+            gossip_per_dispatcher=self.counters.gossip_per_dispatcher(),
+            gossip_event_ratio=self.counters.gossip_event_ratio(),
+            oob_messages=self.counters.oob_messages,
+            recovery_load_skew=self.counters.recovery_load_skew(),
+            gossip_stats=gossip_stats,
+            losses_detected=losses_detected,
+            losses_recovered=losses_recovered,
+            losses_abandoned=losses_abandoned,
+            receivers_per_event=receivers_per_event,
+            tree_diameter=self.tree.diameter(),
+            tree_average_path_length=self.tree.average_path_length(),
+            reconfigurations=(
+                self.reconfiguration.stats.breaks if self.reconfiguration else 0
+            ),
+            events_published=events_published,
+            sim_events_processed=self.sim.events_processed,
+            wall_clock_seconds=self._wall_seconds,
+            unexpected_deliveries=self.tracker.unexpected_deliveries,
+            duplicate_deliveries=self.tracker.duplicate_deliveries,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Simulation {self.config.algorithm} N={self.config.n_dispatchers} "
+            f"t={self.sim.now:.2f}/{self.config.sim_time}>"
+        )

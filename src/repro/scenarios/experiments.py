@@ -1,0 +1,550 @@
+"""Canned experiment definitions: one per figure of the paper.
+
+Each ``figN_*`` function runs the simulations behind the corresponding
+figure and returns an :class:`ExperimentResult` with the x axis, one curve
+per algorithm, and the raw :class:`~repro.scenarios.results.RunResult`
+objects.  The benchmark files under ``benchmarks/`` call these, print the
+paper-shaped series, and assert the qualitative shapes.
+
+Scale
+-----
+The paper simulates N = 100 dispatchers for 25 s per data point.  That is
+minutes of wall-clock per point in pure Python, so by default experiments
+run at **bench scale**: N = 50 dispatchers with Π = 35 patterns (preserving
+the paper's Nπ = N·πmax/Π = 2.86 subscribers per pattern), shorter runs,
+and buffer sizes converted so that *cache persistence in seconds* matches
+the corresponding paper configuration.  Set ``REPRO_PAPER_SCALE=1`` in the
+environment to run everything at the paper's full scale.
+
+Scale changes absolute message counts but preserves the comparisons the
+paper draws (who wins, plateaus, crossovers); EXPERIMENTS.md records
+paper-vs-measured for every figure.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.recovery import PAPER_ALGORITHMS
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.results import RunResult
+from repro.scenarios.runner import run_scenario
+
+__all__ = [
+    "ExperimentResult",
+    "scale_mode",
+    "base_config",
+    "equivalent_buffer",
+    "fig3a_lossy_delivery",
+    "fig3b_reconfiguration",
+    "fig4_buffer_sweep",
+    "fig4_interval_sweep",
+    "fig5_interval_buffer_grid",
+    "fig6_scalability",
+    "fig7_receivers_per_event",
+    "fig8_patterns_delivery",
+    "fig9a_overhead_scale",
+    "fig9b_overhead_patterns",
+    "fig10_overhead_error_rate",
+]
+
+#: The paper's full-scale reference configuration (Figure 2).
+PAPER_CONFIG = SimulationConfig()
+
+#: Algorithms shown in the delivery charts, in the paper's legend order.
+DELIVERY_ALGORITHMS = list(PAPER_ALGORITHMS)
+
+#: Algorithms shown in the overhead charts (Figures 9 and 10).
+OVERHEAD_ALGORITHMS = ["push", "combined-pull"]
+
+
+def scale_mode() -> str:
+    """``"paper"`` when REPRO_PAPER_SCALE is set, else ``"bench"``."""
+    return "paper" if os.environ.get("REPRO_PAPER_SCALE") else "bench"
+
+
+def base_config(load: str = "high", seed: int = 42) -> SimulationConfig:
+    """The scaled counterpart of the paper's default configuration.
+
+    ``load`` selects the paper's high (50 publish/s) or low (5 publish/s)
+    publishing regime.
+    """
+    if load not in ("high", "low"):
+        raise ValueError(f"load must be 'high' or 'low', got {load!r}")
+    if scale_mode() == "paper":
+        config = SimulationConfig(
+            publish_rate=50.0 if load == "high" else 5.0,
+            sim_time=25.0,
+            measure_start=2.0,
+            measure_end=20.0,
+            seed=seed,
+        )
+        return config
+    config = SimulationConfig(
+        n_dispatchers=50,
+        n_patterns=35,  # keeps N*pi_max/Pi = 2.86 subscribers per pattern
+        publish_rate=50.0 if load == "high" else 5.0,
+        sim_time=8.0,
+        measure_start=1.0,
+        measure_end=4.0,
+        seed=seed,
+    )
+    # Match the paper default's cache persistence (beta=1500 at N=100).
+    return config.replace(buffer_size=equivalent_buffer(config, 1500))
+
+
+def equivalent_buffer(config: SimulationConfig, paper_beta: int) -> int:
+    """The β giving ``config`` the same cache persistence (in seconds) that
+    ``paper_beta`` gives the paper's full-scale default configuration.
+
+    This is the paper's own methodology ("we increased linearly the buffer
+    size together with the system scale, so that a given event persists in
+    the buffer for a constant time").
+    """
+    paper_rate = PAPER_CONFIG.estimated_cache_fill_rate()
+    seconds = paper_beta / paper_rate
+    return config.buffer_for_persistence(seconds)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one figure-reproduction experiment."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    x_values: List
+    #: curve name -> y value per x (delivery rate, overhead, ...).
+    curves: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+    #: curve name -> RunResult per x (for deeper inspection).
+    results: Dict[str, List[RunResult]] = field(default_factory=dict)
+    notes: str = ""
+
+    def curve(self, name: str) -> List[Optional[float]]:
+        return self.curves[name]
+
+    def final(self, name: str) -> Optional[float]:
+        return self.curves[name][-1]
+
+    def to_table(self) -> str:
+        from repro.analysis.tables import format_series_table
+
+        return format_series_table(
+            self.x_label,
+            self.x_values,
+            self.curves,
+            title=f"{self.experiment_id}: {self.title} [{scale_mode()} scale]",
+        )
+
+    def to_chart(self) -> str:
+        from repro.analysis.ascii_chart import ascii_chart
+
+        series = {
+            name: list(zip(self._numeric_x(), values))
+            for name, values in self.curves.items()
+        }
+        return ascii_chart(series, title=f"{self.experiment_id}: {self.title}")
+
+    def _numeric_x(self) -> List[float]:
+        return [float(x) for x in self.x_values]
+
+
+# ----------------------------------------------------------------------
+# Generic sweep driver
+# ----------------------------------------------------------------------
+def _run_curves(
+    experiment_id: str,
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    algorithms: Sequence[str],
+    config_for: Callable[[str], SimulationConfig],
+    apply_x: Callable[[SimulationConfig], SimulationConfig],
+    metric: Callable[[RunResult], float],
+) -> ExperimentResult:
+    """Run ``algorithms`` x ``x_values`` and collect ``metric`` curves.
+
+    ``config_for(algorithm)`` yields the per-algorithm base config;
+    ``apply_x(config, x)`` specializes it for one x value.
+    """
+    result = ExperimentResult(experiment_id, title, x_label, list(x_values))
+    for algorithm in algorithms:
+        base = config_for(algorithm)
+        curve: List[Optional[float]] = []
+        runs: List[RunResult] = []
+        for x in x_values:
+            run = run_scenario(apply_x(base, x))
+            runs.append(run)
+            curve.append(metric(run))
+        result.curves[algorithm] = curve
+        result.results[algorithm] = runs
+    return result
+
+
+def _delivery(run: RunResult) -> float:
+    return run.delivery_rate
+
+
+# ----------------------------------------------------------------------
+# Figure 3(a): delivery under lossy links
+# ----------------------------------------------------------------------
+def fig3a_lossy_delivery(
+    error_rate: float = 0.1,
+    algorithms: Sequence[str] = DELIVERY_ALGORITHMS,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Delivery rate per algorithm on a stable topology with lossy links.
+
+    The paper runs ε = 0.05 (left chart, baseline ≈ 75 %) and ε = 0.1
+    (right chart, baseline ≈ 55 %); both are time series that settle to a
+    steady level per algorithm -- we report the steady aggregate and keep
+    the full time series in the RunResults.
+    """
+    result = ExperimentResult(
+        "Fig3a",
+        f"delivery under lossy links (eps={error_rate})",
+        "algorithm",
+        list(algorithms),
+    )
+    curve = []
+    runs = []
+    for algorithm in algorithms:
+        config = base_config(seed=seed).replace(
+            algorithm=algorithm, error_rate=error_rate
+        )
+        run = run_scenario(config)
+        runs.append(run)
+        curve.append(run.delivery_rate)
+    result.curves["delivery_rate"] = curve
+    result.results["delivery_rate"] = runs
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 3(b): delivery under topological reconfiguration
+# ----------------------------------------------------------------------
+def fig3b_reconfiguration(
+    interval: float = 0.2,
+    algorithms: Sequence[str] = DELIVERY_ALGORITHMS,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Delivery with fully reliable links but a reconfiguring overlay.
+
+    ρ = 0.2 s gives non-overlapping reconfigurations; ρ = 0.03 s gives the
+    overlapping, "extreme test case".  The interesting output is both the
+    aggregate and the *minimum* of the time series (the depth of the spikes
+    that recovery is supposed to level out).
+    """
+    result = ExperimentResult(
+        "Fig3b",
+        f"delivery under reconfiguration (rho={interval}s)",
+        "algorithm",
+        list(algorithms),
+    )
+    rates = []
+    minima = []
+    runs = []
+    for algorithm in algorithms:
+        config = base_config(seed=seed).replace(
+            algorithm=algorithm,
+            error_rate=0.0,
+            reconfiguration_interval=interval,
+        )
+        run = run_scenario(config)
+        runs.append(run)
+        rates.append(run.delivery_rate)
+        window = run.series.clipped(
+            config.measure_start, config.effective_measure_end
+        )
+        minima.append(window.min_value())
+    result.curves["delivery_rate"] = rates
+    result.curves["worst_bin"] = minima
+    result.results["delivery_rate"] = runs
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4: buffer size and gossip interval
+# ----------------------------------------------------------------------
+def fig4_buffer_sweep(
+    algorithms: Sequence[str] = DELIVERY_ALGORITHMS,
+    paper_betas: Sequence[int] = (500, 1000, 1500, 2500, 4000),
+    seed: int = 42,
+) -> ExperimentResult:
+    """Delivery vs. buffer size β (paper sweeps 500..4000)."""
+    base = base_config(seed=seed)
+    return _run_curves(
+        "Fig4-top",
+        "delivery vs buffer size",
+        "beta(paper)",
+        list(paper_betas),
+        algorithms,
+        lambda algorithm: base.replace(algorithm=algorithm),
+        lambda config, beta: config.replace(
+            buffer_size=equivalent_buffer(config, beta)
+        ),
+        _delivery,
+    )
+
+
+def fig4_interval_sweep(
+    algorithms: Sequence[str] = DELIVERY_ALGORITHMS,
+    intervals: Sequence[float] = (0.01, 0.02, 0.03, 0.045, 0.055),
+    seed: int = 42,
+) -> ExperimentResult:
+    """Delivery vs. gossip interval T (paper sweeps 0.01..0.055 s)."""
+    base = base_config(seed=seed)
+    return _run_curves(
+        "Fig4-bottom",
+        "delivery vs gossip interval",
+        "T",
+        list(intervals),
+        algorithms,
+        lambda algorithm: base.replace(algorithm=algorithm),
+        lambda config, interval: config.replace(gossip_interval=interval),
+        _delivery,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: interplay of T and beta (combined pull)
+# ----------------------------------------------------------------------
+def fig5_interval_buffer_grid(
+    paper_betas: Sequence[int] = (500, 1500, 2500, 3500),
+    intervals: Sequence[float] = (0.01, 0.02, 0.03, 0.045, 0.055),
+    seed: int = 42,
+) -> ExperimentResult:
+    """Combined pull: delivery vs T, one curve per β."""
+    base = base_config(seed=seed).replace(algorithm="combined-pull")
+    result = ExperimentResult(
+        "Fig5",
+        "combined pull: delivery vs T for several beta",
+        "T",
+        list(intervals),
+    )
+    for beta in paper_betas:
+        config_beta = base.replace(buffer_size=equivalent_buffer(base, beta))
+        curve = []
+        runs = []
+        for interval in intervals:
+            run = run_scenario(config_beta.replace(gossip_interval=interval))
+            runs.append(run)
+            curve.append(run.delivery_rate)
+        result.curves[f"beta={beta}"] = curve
+        result.results[f"beta={beta}"] = runs
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 6: scalability in N
+# ----------------------------------------------------------------------
+def fig6_scalability(
+    algorithms: Sequence[str] = DELIVERY_ALGORITHMS,
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Delivery vs. N, with β scaled linearly so persistence stays ~4 s.
+
+    The paper keeps Π = 70 *constant* while N grows (that is why push
+    improves with N: more dispatchers per pattern).
+    """
+    if sizes is None:
+        sizes = (20, 60, 100, 140, 200) if scale_mode() == "paper" else (20, 40, 60, 80)
+    base = base_config(seed=seed).replace(n_patterns=70)
+
+    def apply_n(config: SimulationConfig, n: int) -> SimulationConfig:
+        scaled = config.replace(n_dispatchers=n)
+        return scaled.replace(buffer_size=scaled.buffer_for_persistence(4.0))
+
+    return _run_curves(
+        "Fig6",
+        "delivery vs system size (Pi fixed at 70)",
+        "N",
+        list(sizes),
+        algorithms,
+        lambda algorithm: base.replace(algorithm=algorithm),
+        apply_n,
+        _delivery,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7: receivers per event vs pi_max
+# ----------------------------------------------------------------------
+def fig7_receivers_per_event(
+    pi_values: Sequence[int] = (1, 2, 5, 10, 15, 20, 25, 30),
+    seed: int = 42,
+) -> ExperimentResult:
+    """Mean number of dispatchers receiving one event as πmax grows.
+
+    Pure substrate measurement (no recovery, short reliable run): the
+    paper reports ≈ 25 % of dispatchers at πmax = 5 and ≈ 80 % at 30.
+    Π stays at the paper's 70 and N at 100 regardless of scale mode --
+    the curve is a property of the workload model, and short reliable
+    runs are cheap.
+    """
+    base = SimulationConfig(
+        n_dispatchers=100,
+        n_patterns=70,
+        algorithm="none",
+        error_rate=0.0,
+        publish_rate=20.0,
+        sim_time=1.5,
+        measure_start=0.1,
+        measure_end=1.2,
+        buffer_size=100,
+        seed=seed,
+    )
+    result = ExperimentResult(
+        "Fig7",
+        "receivers per event vs pi_max (N=100, Pi=70)",
+        "pi_max",
+        list(pi_values),
+    )
+    curve = []
+    runs = []
+    for pi_max in pi_values:
+        run = run_scenario(base.replace(pi_max=pi_max))
+        runs.append(run)
+        curve.append(run.receivers_per_event)
+    result.curves["receivers"] = curve
+    result.results["receivers"] = runs
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 8: delivery vs pi_max under low and high load
+# ----------------------------------------------------------------------
+def fig8_patterns_delivery(
+    load: str = "high",
+    algorithms: Sequence[str] = ("none", "subscriber-pull", "push", "combined-pull"),
+    pi_values: Sequence[int] = (1, 2, 4, 6, 10, 16),
+    seed: int = 42,
+    paper_beta: Optional[int] = None,
+) -> ExperimentResult:
+    """Delivery vs. πmax (paper: both charts derived with β = 4000).
+
+    The chart's high-load punchline is a *buffer-overload* effect: β is
+    held fixed while growing πmax multiplies each subscriber's event
+    volume, so cache persistence collapses and recovery starves.  The
+    effect is relative to the run length: the paper's β = 4000 persists
+    ≈ 9 s of a 25 s run (36 %).  At bench scale (8 s runs) we therefore
+    default to the persistence-fraction-equivalent β = 1200 (≈ 35 % of
+    the run at πmax = 2); at paper scale, to the literal 4000.  Override
+    with ``paper_beta``.
+    """
+    base = base_config(load=load, seed=seed)
+    if paper_beta is None:
+        # The low-load chart's point is flatness at an ample buffer: keep
+        # the literal 4000 there.  The high-load chart's point is the
+        # overload, which only materializes within a bench-scale run at
+        # the persistence-fraction-equivalent buffer.
+        if scale_mode() == "paper" or load == "low":
+            paper_beta = 4000
+        else:
+            paper_beta = 1200
+    beta = equivalent_buffer(base, paper_beta)
+    return _run_curves(
+        f"Fig8-{load}",
+        f"delivery vs pi_max ({load} load, beta={paper_beta}-equivalent)",
+        "pi_max",
+        list(pi_values),
+        algorithms,
+        lambda algorithm: base.replace(algorithm=algorithm, buffer_size=beta),
+        lambda config, pi_max: config.replace(pi_max=pi_max),
+        _delivery,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9: overhead vs N and vs pi_max
+# ----------------------------------------------------------------------
+def fig9a_overhead_scale(
+    algorithms: Sequence[str] = OVERHEAD_ALGORITHMS,
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Gossip msgs/dispatcher (absolute) and gossip/event ratio vs N."""
+    if sizes is None:
+        sizes = (40, 80, 120, 160, 200) if scale_mode() == "paper" else (20, 40, 60, 80)
+    base = base_config(seed=seed).replace(n_patterns=70)
+
+    def apply_n(config: SimulationConfig, n: int) -> SimulationConfig:
+        scaled = config.replace(n_dispatchers=n)
+        return scaled.replace(buffer_size=scaled.buffer_for_persistence(4.0))
+
+    result = ExperimentResult(
+        "Fig9a", "overhead vs system size", "N", list(sizes)
+    )
+    for algorithm in algorithms:
+        absolute = []
+        ratio = []
+        runs = []
+        for n in sizes:
+            run = run_scenario(apply_n(base.replace(algorithm=algorithm), n))
+            runs.append(run)
+            absolute.append(run.gossip_per_dispatcher)
+            ratio.append(run.gossip_event_ratio)
+        result.curves[f"{algorithm}:msgs/disp"] = absolute
+        result.curves[f"{algorithm}:ratio"] = ratio
+        result.results[algorithm] = runs
+    return result
+
+
+def fig9b_overhead_patterns(
+    algorithms: Sequence[str] = OVERHEAD_ALGORITHMS,
+    pi_values: Sequence[int] = (1, 2, 5, 10, 20, 30),
+    seed: int = 42,
+) -> ExperimentResult:
+    """Gossip msgs/dispatcher and gossip/event ratio vs πmax."""
+    base = base_config(seed=seed)
+    beta = equivalent_buffer(base, 4000)
+    result = ExperimentResult(
+        "Fig9b", "overhead vs subscriptions per dispatcher", "pi_max", list(pi_values)
+    )
+    for algorithm in algorithms:
+        absolute = []
+        ratio = []
+        runs = []
+        for pi_max in pi_values:
+            config = base.replace(
+                algorithm=algorithm, pi_max=pi_max, buffer_size=beta
+            )
+            run = run_scenario(config)
+            runs.append(run)
+            absolute.append(run.gossip_per_dispatcher)
+            ratio.append(run.gossip_event_ratio)
+        result.curves[f"{algorithm}:msgs/disp"] = absolute
+        result.curves[f"{algorithm}:ratio"] = ratio
+        result.results[algorithm] = runs
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 10: overhead vs error rate under both loads
+# ----------------------------------------------------------------------
+def fig10_overhead_error_rate(
+    load: str = "high",
+    algorithms: Sequence[str] = OVERHEAD_ALGORITHMS,
+    error_rates: Sequence[float] = (0.01, 0.03, 0.05, 0.08, 0.1),
+    seed: int = 42,
+) -> ExperimentResult:
+    """Gossip msgs/dispatcher vs ε.
+
+    The paper's punchline: at low load and small ε the reactive pull sends
+    a small fraction of push's traffic, because rounds with an empty Lost
+    buffer are skipped while push gossips unconditionally.
+    """
+    base = base_config(load=load, seed=seed)
+    return _run_curves(
+        f"Fig10-{load}",
+        f"overhead vs error rate ({load} load)",
+        "eps",
+        list(error_rates),
+        algorithms,
+        lambda algorithm: base.replace(algorithm=algorithm),
+        lambda config, eps: config.replace(error_rate=eps),
+        lambda run: run.gossip_per_dispatcher,
+    )

@@ -1,0 +1,98 @@
+"""Multi-seed replication.
+
+Section IV-A of the paper: *"The results of 10 simulations ran with
+different random seeds showed that ... variations are limited, around
+1%-2%.  Hence, we present here the results of a single simulation."*
+
+:func:`run_replications` reruns one configuration under several seeds and
+summarizes the spread, so that claim can be checked for any scenario (see
+``benchmarks/test_ablation_seed_variance.py``), and so users can attach
+confidence intervals to their own experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.results import RunResult
+from repro.scenarios.runner import run_scenario
+
+__all__ = ["ReplicationSummary", "run_replications", "summarize"]
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Spread of one scalar metric across replications."""
+
+    metric: str
+    values: tuple
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def replications(self) -> int:
+        return len(self.values)
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """std/mean -- the paper's "1%-2% variation" is this quantity."""
+        if self.mean == 0.0:
+            return 0.0
+        return self.std / abs(self.mean)
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Normal-approximation confidence half-width for the mean."""
+        if len(self.values) < 2:
+            return 0.0
+        return z * self.std / math.sqrt(len(self.values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ReplicationSummary {self.metric} mean={self.mean:.4f} "
+            f"cv={self.coefficient_of_variation:.3%} n={len(self.values)}>"
+        )
+
+
+def summarize(metric: str, values: Sequence[float]) -> ReplicationSummary:
+    """Build a :class:`ReplicationSummary` from raw values."""
+    if not values:
+        raise ValueError("need at least one value to summarize")
+    count = len(values)
+    mean = sum(values) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+    else:
+        variance = 0.0
+    return ReplicationSummary(
+        metric=metric,
+        values=tuple(values),
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def run_replications(
+    config: SimulationConfig,
+    seeds: Sequence[int],
+    metric: Callable[[RunResult], float] = lambda run: run.delivery_rate,
+    metric_name: str = "delivery_rate",
+) -> ReplicationSummary:
+    """Run ``config`` once per seed and summarize ``metric``.
+
+    Every other parameter -- topology style, workload rates, algorithm --
+    is held fixed; only the master seed (and hence every random stream)
+    changes.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values: List[float] = []
+    for seed in seeds:
+        values.append(metric(run_scenario(config.replace(seed=seed))))
+    return summarize(metric_name, values)

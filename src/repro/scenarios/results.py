@@ -1,0 +1,90 @@
+"""Run results: everything a benchmark or report needs from one simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.delivery import DeliveryStats
+from repro.metrics.timeseries import TimeSeries
+from repro.recovery.base import GossipStats
+from repro.scenarios.config import SimulationConfig
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run.
+
+    The headline numbers mirror the paper's metrics; the raw counters and
+    series allow the analysis layer to derive every figure.
+    """
+
+    config: SimulationConfig
+    #: Aggregate delivery over the measurement window.
+    delivery: DeliveryStats
+    #: Aggregate delivery over the whole run (no window).
+    delivery_full: DeliveryStats
+    #: Delivery rate vs. publish time (recovery included).
+    series: TimeSeries
+    #: Same, counting only normally routed deliveries (baseline view).
+    series_baseline: TimeSeries
+    #: Per-kind message counters snapshot.
+    messages: Dict[str, int]
+    #: Mean gossip messages sent per dispatcher (Fig 9 left axis).
+    gossip_per_dispatcher: float
+    #: Gossip / event transmissions ratio (Fig 9 right axis).
+    gossip_event_ratio: float
+    #: Out-of-band messages (requests + retransmissions), total.
+    oob_messages: int
+    #: max/mean per-node recovery traffic (gossip + out-of-band); 1.0 is a
+    #: perfectly flat profile, the epidemic algorithms' selling point.
+    recovery_load_skew: float
+    #: Recovery statistics summed over all dispatchers.
+    gossip_stats: GossipStats
+    #: Lost-buffer statistics summed over all dispatchers (pull family).
+    losses_detected: int
+    losses_recovered: int
+    losses_abandoned: int
+    #: Mean receivers per published event (Fig 7's metric).
+    receivers_per_event: float
+    #: Topology facts.
+    tree_diameter: int
+    tree_average_path_length: float
+    #: Reconfiguration counts (0 when ρ = +∞).
+    reconfigurations: int
+    #: Execution facts.
+    events_published: int
+    sim_events_processed: int
+    wall_clock_seconds: float
+    #: Sanity counters (must stay 0; asserted by tests).
+    unexpected_deliveries: int = 0
+    duplicate_deliveries: int = 0
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivery.delivery_rate
+
+    @property
+    def baseline_rate(self) -> float:
+        return self.delivery.baseline_rate
+
+    def summary_row(self) -> Dict[str, float]:
+        """Compact dictionary for tables and EXPERIMENTS.md."""
+        return {
+            "algorithm": self.config.algorithm,
+            "delivery_rate": round(self.delivery_rate, 4),
+            "baseline_rate": round(self.baseline_rate, 4),
+            "gossip_per_dispatcher": round(self.gossip_per_dispatcher, 1),
+            "gossip_event_ratio": round(self.gossip_event_ratio, 4),
+            "events_published": self.events_published,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<RunResult {self.config.algorithm} "
+            f"delivery={self.delivery_rate:.3f} "
+            f"baseline={self.baseline_rate:.3f} "
+            f"gossip/disp={self.gossip_per_dispatcher:.0f}>"
+        )

@@ -1,0 +1,33 @@
+"""One-call scenario execution."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.scenarios.builder import Simulation
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.results import RunResult
+
+__all__ = ["run_scenario", "run_many"]
+
+
+def run_scenario(config: SimulationConfig) -> RunResult:
+    """Build, run to ``config.sim_time``, and summarize one scenario."""
+    return Simulation(config).run()
+
+
+def run_many(
+    configs: Iterable[SimulationConfig],
+    labels: Optional[Iterable[str]] = None,
+) -> Dict[str, RunResult]:
+    """Run several scenarios; keys are the given labels or run indexes."""
+    configs = list(configs)
+    if labels is None:
+        keys: List[str] = [f"run-{index}" for index in range(len(configs))]
+    else:
+        keys = list(labels)
+        if len(keys) != len(configs):
+            raise ValueError(
+                f"{len(configs)} configs but {len(keys)} labels"
+            )
+    return {key: run_scenario(config) for key, config in zip(keys, configs)}

@@ -1,0 +1,86 @@
+"""Parameter-sweep helpers used by the figure benchmarks.
+
+A sweep runs the same base configuration with one (or more) field varied,
+optionally crossed with a set of recovery algorithms -- exactly the
+structure of the paper's Figures 4, 5, 6, 8, 9, and 10.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.results import RunResult
+from repro.scenarios.runner import run_scenario
+
+__all__ = ["sweep", "sweep_algorithms", "SweepPoint"]
+
+
+class SweepPoint:
+    """One (x, algorithm) cell of a sweep with its result."""
+
+    __slots__ = ("x", "algorithm", "result")
+
+    def __init__(self, x: Any, algorithm: str, result: RunResult) -> None:
+        self.x = x
+        self.algorithm = algorithm
+        self.result = result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SweepPoint x={self.x} algo={self.algorithm} "
+            f"delivery={self.result.delivery_rate:.3f}>"
+        )
+
+
+def sweep(
+    base: SimulationConfig,
+    field: str,
+    values: Sequence[Any],
+    derive: Optional[Callable[[SimulationConfig, Any], SimulationConfig]] = None,
+) -> List[SweepPoint]:
+    """Run ``base`` once per value of ``field``.
+
+    ``derive`` may adjust the config further per point (e.g. Fig 6 scales
+    β together with N); it receives the config *after* the swept field is
+    applied and returns the final config.
+    """
+    points = []
+    for value in values:
+        config = base.replace(**{field: value})
+        if derive is not None:
+            config = derive(config, value)
+        points.append(SweepPoint(value, config.algorithm, run_scenario(config)))
+    return points
+
+
+def sweep_algorithms(
+    base: SimulationConfig,
+    algorithms: Sequence[str],
+    field: Optional[str] = None,
+    values: Sequence[Any] = (),
+    derive: Optional[Callable[[SimulationConfig, Any], SimulationConfig]] = None,
+) -> Dict[str, List[SweepPoint]]:
+    """Cross a sweep with a set of algorithms: ``{algorithm: [points]}``.
+
+    With no ``field`` each algorithm runs once at the base configuration
+    (``x`` is then ``None``).
+    """
+    results: Dict[str, List[SweepPoint]] = {}
+    for algorithm in algorithms:
+        algo_base = base.replace(algorithm=algorithm)
+        if field is None:
+            results[algorithm] = [
+                SweepPoint(None, algorithm, run_scenario(algo_base))
+            ]
+        else:
+            results[algorithm] = sweep(algo_base, field, values, derive)
+    return results
+
+
+def series_of(
+    points: Iterable[SweepPoint],
+    metric: Callable[[RunResult], float],
+) -> List[Tuple[Any, float]]:
+    """Extract ``(x, metric)`` pairs from sweep points."""
+    return [(point.x, metric(point.result)) for point in points]

@@ -1,0 +1,233 @@
+"""The discrete-event engine: clock, calendar queue, and run loop.
+
+The design is deliberately minimal and fast.  Everything in the repository --
+link transmissions, gossip timers, publisher processes -- ultimately boils
+down to ``simulator.schedule(delay, callback, *args)``.
+
+Determinism
+-----------
+Events are ordered by ``(time, sequence_number)`` where the sequence number
+is a monotonically increasing insertion counter.  Two events scheduled for
+the same instant therefore fire in the order they were scheduled, which makes
+whole simulations reproducible bit-for-bit given a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+__all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel.
+
+    Examples: scheduling an event in the past, running a simulator that was
+    already stopped, or re-cancelling a fired event when strict mode is on.
+    """
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.schedule_at`; the only interesting operation on them is
+    :meth:`cancel`.  Cancellation is *lazy*: the entry stays in the heap but
+    is skipped when popped, which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+        # Drop references eagerly so cancelled events do not pin large
+        # payloads (e.g. message objects) in memory until they are popped.
+        self.callback = _noop
+        self.args = ()
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.6f} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    """Placeholder callback installed by :meth:`ScheduledEvent.cancel`."""
+
+
+class Simulator:
+    """A sequential discrete-event simulator.
+
+    Parameters
+    ----------
+    strict:
+        When true, scheduling in the past raises :class:`SimulationError`
+        instead of clamping the event to the current time.
+
+    Usage
+    -----
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self._queue: list[ScheduledEvent] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+        self._processed: int = 0
+        self._strict = strict
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the calendar (including cancelled)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns a :class:`ScheduledEvent` handle that can be cancelled.
+        """
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            if self._strict:
+                raise SimulationError(
+                    f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
+                )
+            time = self._now
+        event = ScheduledEvent(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time.  Events scheduled at
+            exactly ``until`` *do* fire; the clock ends at ``until`` if the
+            horizon was reached, or at the last event time if the calendar
+            drained first.
+        max_events:
+            Safety valve: stop after this many callbacks.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        queue = self._queue
+        budget = max_events if max_events is not None else -1
+        try:
+            while queue and not self._stopped:
+                event = queue[0]
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback(*event.args)
+                self._processed += 1
+                if budget > 0:
+                    budget -= 1
+                    if budget == 0:
+                        break
+            else:
+                if until is not None and not self._stopped and self._now < until:
+                    self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute the single next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the calendar
+        is empty.  Cancelled entries are skipped transparently.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._processed += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current callback."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or ``None`` if drained."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if self._queue:
+            return self._queue[0].time
+        return None
+
+    def clear(self) -> None:
+        """Drop every pending event.  The clock is left unchanged."""
+        self._queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Simulator t={self._now:.6f} pending={len(self._queue)} "
+            f"processed={self._processed}>"
+        )

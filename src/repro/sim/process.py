@@ -1,0 +1,112 @@
+"""Generator-based processes on top of the callback engine.
+
+Most of the simulation is callback-driven for speed, but sequential
+scripting (e.g. examples, tests, scenario orchestration such as "wait 1 s,
+break a link, wait 0.1 s, repair it") reads much better as a coroutine:
+
+>>> from repro.sim import Simulator, Process, sleep
+>>> sim = Simulator()
+>>> log = []
+>>> def script():
+...     log.append(("start", sim.now))
+...     yield sleep(2.0)
+...     log.append(("later", sim.now))
+>>> _ = Process(sim, script())
+>>> sim.run()
+>>> log
+[('start', 0.0), ('later', 2.0)]
+
+A process is a generator that yields :func:`sleep` commands (or plain
+floats, treated as sleeps).  The process starts immediately when
+constructed and is driven by the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Union
+
+from repro.sim.engine import SimulationError, Simulator
+
+__all__ = ["Process", "sleep", "Sleep"]
+
+
+class Sleep:
+    """Command object yielded by a process to advance simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot sleep for negative time {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Sleep({self.delay})"
+
+
+def sleep(delay: float) -> Sleep:
+    """Yield this from a process body to pause for ``delay`` seconds."""
+    return Sleep(delay)
+
+
+ProcessBody = Generator[Union[Sleep, float], None, Any]
+
+
+class Process:
+    """Drive a generator as a simulated process.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing the clock.
+    body:
+        A generator yielding :class:`Sleep` commands or plain non-negative
+        floats.
+    on_done:
+        Optional callback invoked with the generator's return value when the
+        process finishes normally.
+
+    The first segment of the body runs at the current simulation time (as
+    soon as the engine is running; technically at the next event boundary).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        body: ProcessBody,
+        on_done: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        self._sim = sim
+        self._body = body
+        self._on_done = on_done
+        self.finished = False
+        self.result: Any = None
+        sim.schedule(0.0, self._advance)
+
+    def _advance(self) -> None:
+        if self.finished:
+            return
+        try:
+            command = next(self._body)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            if self._on_done is not None:
+                self._on_done(stop.value)
+            return
+        if isinstance(command, Sleep):
+            delay = command.delay
+        elif isinstance(command, (int, float)):
+            delay = float(command)
+            if delay < 0:
+                raise SimulationError(f"process yielded negative sleep {delay}")
+        else:
+            raise SimulationError(
+                f"process yielded unsupported command {command!r}; "
+                "yield sleep(dt) or a non-negative number"
+            )
+        self._sim.schedule(delay, self._advance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {state}>"

@@ -1,0 +1,51 @@
+"""Overlay topology: unrooted trees and topological reconfiguration.
+
+The paper's dispatching network is a single unrooted tree where every
+dispatcher has at most four neighbors.  This subpackage provides:
+
+* :mod:`~repro.topology.tree` -- tree representation and graph utilities
+  (BFS, paths, distances, diameter) implemented from scratch;
+* :mod:`~repro.topology.generator` -- random and structured tree builders
+  honouring the degree cap;
+* :mod:`~repro.topology.reconfiguration` -- the break/repair engine that
+  models the scenario of Figure 3(b): a random tree link breaks, and after
+  0.1 s a replacement link reconnects the network (following the effect of
+  the reconfiguration protocol of Picco, Cugola, Murphy, ICDCS'03 [7]).
+"""
+
+from repro.topology.tree import (
+    Tree,
+    TreeError,
+    bfs_distances,
+    bfs_tree_path,
+    connected_components,
+    is_tree,
+)
+from repro.topology.generator import (
+    random_tree,
+    bushy_tree,
+    build_tree,
+    balanced_tree,
+    path_tree,
+    star_tree,
+    MAX_DEGREE_DEFAULT,
+)
+from repro.topology.reconfiguration import ReconfigurationEngine, ReconfigurationStats
+
+__all__ = [
+    "Tree",
+    "TreeError",
+    "bfs_distances",
+    "bfs_tree_path",
+    "connected_components",
+    "is_tree",
+    "random_tree",
+    "bushy_tree",
+    "build_tree",
+    "balanced_tree",
+    "path_tree",
+    "star_tree",
+    "MAX_DEGREE_DEFAULT",
+    "ReconfigurationEngine",
+    "ReconfigurationStats",
+]

@@ -1,0 +1,159 @@
+"""Topological reconfiguration: the scenario of Figure 3(b).
+
+The paper models mobility-induced dynamics as: *"the breakage of a link,
+and its replacement with another that maintains the network connected.  We
+assume that the overlay network is repaired in 0.1 s.  Reconfigurations are
+triggered with a frequency determined by the duration of the interval ρ
+between two reconfigurations."*
+
+:class:`ReconfigurationEngine` implements exactly that on a live
+:class:`~repro.network.network.Network`:
+
+1. every ``interval`` seconds a uniformly random live tree link breaks;
+2. messages routed across the broken link during the outage are lost
+   (the network drops sends toward missing links);
+3. ``repair_delay`` (default 0.1 s) later a replacement link is installed
+   between the two components separated by the break -- endpoints chosen
+   uniformly among nodes whose degree is still below the cap -- and the
+   subscription routes are rebuilt via the ``on_topology_changed`` callback
+   (modelling the completion of the reconfiguration protocol of [7]).
+
+With ``interval`` < ``repair_delay`` reconfigurations *overlap* (the
+paper's ρ = 0.03 s scenario): several links can be down at once and the
+overlay is temporarily a forest with more than two components; the engine
+reconnects components pairwise as each repair completes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.network.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+from repro.topology.generator import MAX_DEGREE_DEFAULT
+from repro.topology.tree import connected_components
+
+__all__ = ["ReconfigurationEngine", "ReconfigurationStats"]
+
+
+@dataclass
+class ReconfigurationStats:
+    """Counters kept by the engine, exposed in run results."""
+
+    breaks: int = 0
+    repairs: int = 0
+    skipped_repairs: int = 0
+    break_times: List[float] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ReconfigurationStats breaks={self.breaks} repairs={self.repairs} "
+            f"skipped={self.skipped_repairs}>"
+        )
+
+
+class ReconfigurationEngine:
+    """Periodically break and repair overlay links.
+
+    Parameters
+    ----------
+    sim, network:
+        The simulation engine and the live network to mutate.
+    rng:
+        Random stream for edge and replacement choices.
+    interval:
+        The paper's ρ: seconds between consecutive link breakages.
+    repair_delay:
+        Outage duration before the replacement link appears (paper: 0.1 s).
+    max_degree:
+        Degree cap that replacement links must respect.
+    on_topology_changed:
+        Called (with no arguments) after each repair completes, once the
+        replacement link is live; the pub-sub layer uses it to rebuild
+        subscription routes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        rng: random.Random,
+        interval: float,
+        repair_delay: float = 0.1,
+        max_degree: int = MAX_DEGREE_DEFAULT,
+        on_topology_changed: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"reconfiguration interval must be positive, got {interval}")
+        if repair_delay < 0:
+            raise ValueError(f"repair delay must be >= 0, got {repair_delay}")
+        self.sim = sim
+        self.network = network
+        self.rng = rng
+        self.interval = interval
+        self.repair_delay = repair_delay
+        self.max_degree = max_degree
+        self.on_topology_changed = on_topology_changed
+        self.stats = ReconfigurationStats()
+        self._timer = PeriodicTimer(sim, interval, self._break_random_link, phase=interval)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin triggering reconfigurations (first break after one interval)."""
+        self._timer.start()
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    # ------------------------------------------------------------------
+    def _break_random_link(self) -> None:
+        edges = self.network.edges()
+        if not edges:
+            return
+        a, b = edges[self.rng.randrange(len(edges))]
+        self.network.remove_link(a, b)
+        self.stats.breaks += 1
+        self.stats.break_times.append(self.sim.now)
+        self.sim.schedule(self.repair_delay, self._repair, a, b)
+
+    def _repair(self, a: int, b: int) -> None:
+        """Install a replacement link reconnecting the components of a and b."""
+        adjacency = {
+            node_id: set(self.network.neighbors(node_id))
+            for node_id in self.network.node_ids()
+        }
+        components = connected_components(adjacency)
+        component_of = {}
+        for component in components:
+            for node in component:
+                component_of[node] = component
+        if component_of[a] is component_of[b]:
+            # Another overlapping repair already reconnected these halves.
+            self.stats.skipped_repairs += 1
+            self._notify()
+            return
+        new_a = self._pick_endpoint(component_of[a], fallback=a)
+        new_b = self._pick_endpoint(component_of[b], fallback=b)
+        self.network.add_link(new_a, new_b)
+        self.stats.repairs += 1
+        self._notify()
+
+    def _pick_endpoint(self, component: set, fallback: int) -> int:
+        """Uniform choice among component nodes below the degree cap.
+
+        The endpoint of the broken link just lost a neighbor, so at least
+        that node is always eligible (``fallback``).
+        """
+        eligible = sorted(
+            node for node in component if self.network.degree(node) < self.max_degree
+        )
+        if not eligible:
+            return fallback
+        return eligible[self.rng.randrange(len(eligible))]
+
+    def _notify(self) -> None:
+        if self.on_topology_changed is not None:
+            self.on_topology_changed()

@@ -1,0 +1,18 @@
+"""Workload model: subscription assignment and publishing processes.
+
+Section IV-A of the paper: every dispatcher subscribes to πmax patterns
+drawn from the Π = 70 available ones; dispatchers publish continuously
+(default ≈ 50 publish/s each, "high load"; 5 publish/s is the "low load"
+variant) events whose content is a uniformly random set of at most three
+patterns.
+"""
+
+from repro.workload.subscriptions import assign_subscriptions, subscribers_per_pattern
+from repro.workload.publishers import PublisherProcess, start_publishers
+
+__all__ = [
+    "assign_subscriptions",
+    "subscribers_per_pattern",
+    "PublisherProcess",
+    "start_publishers",
+]

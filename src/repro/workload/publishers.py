@@ -1,0 +1,141 @@
+"""Publishing processes.
+
+Each dispatcher publishes continuously at a configured rate.  Two timing
+models are offered:
+
+* ``"poisson"`` (default): exponential inter-publish gaps -- the natural
+  model for "about 50 publish/s" aggregate behaviour;
+* ``"periodic"``: fixed period with a random initial phase.
+
+Event content is drawn per publish from the pattern space (uniform, at most
+``max_event_patterns`` patterns -- the paper's footnote 5 caps it at 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.pubsub.pattern import PatternSpace
+from repro.pubsub.system import PubSubSystem
+from repro.sim.engine import ScheduledEvent, Simulator
+
+__all__ = ["PublisherProcess", "start_publishers"]
+
+
+class PublisherProcess:
+    """Drive one dispatcher's continuous publishing.
+
+    Parameters
+    ----------
+    system:
+        The pub-sub system to publish into.
+    node_id:
+        The publishing dispatcher.
+    rate:
+        Publish operations per simulated second (> 0).
+    rng:
+        Random stream for timing and event content.
+    model:
+        ``"poisson"`` or ``"periodic"``.
+    max_event_patterns:
+        Cap on the number of patterns per event (paper: 3).
+    until:
+        Stop publishing at this simulation time (``None`` = never).
+    """
+
+    def __init__(
+        self,
+        system: PubSubSystem,
+        node_id: int,
+        rate: float,
+        rng: random.Random,
+        model: str = "poisson",
+        max_event_patterns: int = 3,
+        until: Optional[float] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"publish rate must be positive, got {rate}")
+        if model not in ("poisson", "periodic"):
+            raise ValueError(f"unknown publish model {model!r}")
+        self.system = system
+        self.node_id = node_id
+        self.rate = rate
+        self.rng = rng
+        self.model = model
+        self.max_event_patterns = max_event_patterns
+        self.until = until
+        self.published = 0
+        self._handle: Optional[ScheduledEvent] = None
+        self._running = False
+
+    @property
+    def sim(self) -> Simulator:
+        return self.system.sim
+
+    def start(self) -> None:
+        """Arm the process; the first publish happens after one gap."""
+        if self._running:
+            return
+        self._running = True
+        self._handle = self.sim.schedule(self._next_gap(), self._publish_one)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _next_gap(self) -> float:
+        if self.model == "poisson":
+            return self.rng.expovariate(self.rate)
+        if self.published == 0:
+            return self.rng.random() / self.rate  # random initial phase
+        return 1.0 / self.rate
+
+    def _publish_one(self) -> None:
+        if not self._running:
+            return
+        if self.until is not None and self.sim.now >= self.until:
+            self._running = False
+            return
+        patterns = self.system.pattern_space.sample_event_patterns(
+            self.rng, self.max_event_patterns
+        )
+        self.system.publish(self.node_id, patterns)
+        self.published += 1
+        self._handle = self.sim.schedule(self._next_gap(), self._publish_one)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PublisherProcess node={self.node_id} rate={self.rate}/s "
+            f"published={self.published}>"
+        )
+
+
+def start_publishers(
+    system: PubSubSystem,
+    rate: float,
+    rng_factory: Callable[[int], random.Random],
+    model: str = "poisson",
+    max_event_patterns: int = 3,
+    until: Optional[float] = None,
+) -> List[PublisherProcess]:
+    """Create and start one :class:`PublisherProcess` per dispatcher.
+
+    ``rng_factory(node_id)`` must return an independent stream per node.
+    """
+    publishers = []
+    for node_id in range(system.node_count):
+        publisher = PublisherProcess(
+            system,
+            node_id,
+            rate,
+            rng_factory(node_id),
+            model=model,
+            max_event_patterns=max_event_patterns,
+            until=until,
+        )
+        publisher.start()
+        publishers.append(publisher)
+    return publishers

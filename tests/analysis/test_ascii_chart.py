@@ -1,0 +1,38 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+from repro.analysis.ascii_chart import ascii_chart
+
+
+class TestAsciiChart:
+    def test_markers_and_legend(self):
+        text = ascii_chart(
+            {"a": [(0.0, 0.0), (1.0, 1.0)], "b": [(0.0, 1.0), (1.0, 0.0)]},
+            width=20,
+            height=5,
+            title="demo",
+        )
+        assert text.startswith("demo")
+        assert "o a" in text
+        assert "x b" in text
+        assert "o" in text and "x" in text
+
+    def test_no_data(self):
+        text = ascii_chart({"a": []}, title="empty")
+        assert "(no data)" in text
+
+    def test_none_values_skipped(self):
+        text = ascii_chart({"a": [(0.0, None), (1.0, 0.5)]}, width=10, height=4)
+        assert "o" in text
+
+    def test_fixed_y_range(self):
+        text = ascii_chart(
+            {"a": [(0.0, 0.5)]}, width=10, height=4, y_min=0.0, y_max=1.0
+        )
+        assert "1.000" in text
+        assert "0.000" in text
+
+    def test_degenerate_single_point(self):
+        text = ascii_chart({"a": [(2.0, 3.0)]}, width=10, height=4)
+        assert "o" in text

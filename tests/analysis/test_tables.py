@@ -1,0 +1,46 @@
+"""Tests for table formatting."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 20]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+        assert "1.500" in lines[3]
+        assert "20" in lines[4]
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_wide_cells_stretch_columns(self):
+        text = format_table(["x"], [["very-long-cell-content"]])
+        header, sep, row = text.splitlines()
+        assert len(sep) >= len("very-long-cell-content")
+
+
+class TestFormatSeriesTable:
+    def test_one_row_per_x(self):
+        text = format_series_table(
+            "T",
+            [0.01, 0.02],
+            {"push": [0.9, 0.8], "pull": [0.95, None]},
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "push" in lines[0] and "pull" in lines[0]
+        assert "0.950" in lines[2]
+        assert lines[3].rstrip().endswith("-")
+
+    def test_short_series_padded_with_none(self):
+        text = format_series_table("x", [1, 2, 3], {"c": [0.5]})
+        assert text.count("\n") == 4

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface (fast, tiny scenarios)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST_ARGS = [
+    "--n",
+    "10",
+    "--patterns",
+    "8",
+    "--publish-rate",
+    "10",
+    "--sim-time",
+    "2.0",
+    "--buffer-size",
+    "50",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "wishful"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "3a"])
+        assert args.which == "3a"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "99"])
+
+
+class TestCommands:
+    def test_list_algorithms(self, capsys):
+        assert main(["list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("push", "combined-pull", "none", "subscriber-pull"):
+            assert name in out
+
+    def test_run_prints_summary(self, capsys):
+        code = main(["run", "--algorithm", "none", "--error-rate", "0.0"] + FAST_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivery rate" in out
+        assert "1.0000" in out  # reliable network: perfect delivery
+
+    def test_run_with_reconfiguration(self, capsys):
+        code = main(
+            ["run", "--algorithm", "none", "--error-rate", "0.0",
+             "--reconfiguration-interval", "0.5"] + FAST_ARGS
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reconfigurations" in out
+
+    def test_compare_prints_all_algorithms(self, capsys):
+        code = main(["compare", "--error-rate", "0.1"] + FAST_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("none", "push", "combined-pull", "publisher-pull"):
+            assert name in out

@@ -1,0 +1,149 @@
+"""End-to-end integration tests: full simulations at reduced scale.
+
+These exercise the complete stack (engine + network + pub-sub + recovery +
+workload + metrics) and check the paper's *qualitative* claims on runs that
+finish in a few seconds each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.runner import run_scenario
+
+#: A small but non-trivial scenario: 25 dispatchers, Nπ = 2.86 preserved.
+SMALL = dict(
+    n_dispatchers=25,
+    n_patterns=18,
+    pi_max=2,
+    publish_rate=30.0,
+    sim_time=6.0,
+    measure_start=0.5,
+    measure_end=3.0,
+    buffer_size=400,
+    seed=9,
+)
+
+
+def run(algorithm, **overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return run_scenario(SimulationConfig(algorithm=algorithm, **params))
+
+
+class TestLossyLinks:
+    def test_baseline_matches_path_loss_expectation(self):
+        result = run("none", error_rate=0.1)
+        # E[(1-eps)^d] on a 25-node bushy tree: d_avg ~ 4.5 -> ~0.62.
+        assert 0.5 < result.delivery_rate < 0.75
+
+    def test_every_recovery_algorithm_improves_delivery(self):
+        baseline = run("none", error_rate=0.1).delivery_rate
+        for algorithm in (
+            "push",
+            "subscriber-pull",
+            "publisher-pull",
+            "combined-pull",
+            "random-pull",
+        ):
+            improved = run(algorithm, error_rate=0.1).delivery_rate
+            assert improved > baseline, algorithm
+
+    def test_combined_pull_beats_each_pull_alone(self):
+        combined = run("combined-pull", error_rate=0.1).delivery_rate
+        subscriber = run("subscriber-pull", error_rate=0.1).delivery_rate
+        publisher = run("publisher-pull", error_rate=0.1).delivery_rate
+        assert combined >= subscriber
+        assert combined >= publisher
+
+    def test_lower_error_rate_means_higher_baseline(self):
+        low = run("none", error_rate=0.05).delivery_rate
+        high = run("none", error_rate=0.1).delivery_rate
+        assert low > high
+
+    def test_recovered_deliveries_are_attributed(self):
+        result = run("combined-pull", error_rate=0.1)
+        assert result.delivery.recovered > 0
+        assert result.delivery.recovered_fraction > 0.05
+
+
+class TestReconfiguration:
+    def test_reconfiguration_causes_loss_without_recovery(self):
+        result = run(
+            "none", error_rate=0.0, reconfiguration_interval=0.2
+        )
+        assert result.reconfigurations >= 25
+        assert result.delivery_rate < 0.995
+
+    def test_recovery_masks_reconfiguration_loss(self):
+        none_rate = run(
+            "none", error_rate=0.0, reconfiguration_interval=0.2
+        ).delivery_rate
+        pull_rate = run(
+            "combined-pull", error_rate=0.0, reconfiguration_interval=0.2
+        ).delivery_rate
+        assert pull_rate > none_rate
+
+    def test_overlapping_reconfigurations_hurt_more(self):
+        slow = run("none", error_rate=0.0, reconfiguration_interval=0.25)
+        fast = run("none", error_rate=0.0, reconfiguration_interval=0.04)
+        assert fast.delivery_rate < slow.delivery_rate
+
+    def test_no_duplicates_across_reconfigurations(self):
+        result = run(
+            "combined-pull", error_rate=0.0, reconfiguration_interval=0.1
+        )
+        assert result.duplicate_deliveries == 0
+        assert result.unexpected_deliveries == 0
+
+
+class TestParameterEffects:
+    def test_bigger_buffer_helps_push(self):
+        small = run("push", error_rate=0.1, buffer_size=60).delivery_rate
+        large = run("push", error_rate=0.1, buffer_size=1200).delivery_rate
+        assert large > small
+
+    def test_faster_gossip_helps_combined_pull(self):
+        slow = run(
+            "combined-pull", error_rate=0.1, gossip_interval=0.2
+        ).delivery_rate
+        fast = run(
+            "combined-pull", error_rate=0.1, gossip_interval=0.02
+        ).delivery_rate
+        assert fast > slow
+
+    def test_pull_skips_rounds_on_reliable_network(self):
+        result = run("combined-pull", error_rate=0.0)
+        stats = result.gossip_stats
+        assert stats.rounds_skipped == stats.rounds
+        assert result.gossip_per_dispatcher == 0.0
+
+    def test_push_never_skips_rounds(self):
+        result = run("push", error_rate=0.0)
+        assert result.gossip_stats.rounds_skipped == 0
+        assert result.gossip_per_dispatcher > 0.0
+
+
+class TestAccounting:
+    def test_message_conservation(self):
+        result = run("combined-pull", error_rate=0.1)
+        messages = result.messages
+        for kind in ("event", "gossip"):
+            sent = messages[f"sent_{kind}"]
+            dropped = messages[f"dropped_{kind}"]
+            delivered = messages[f"delivered_{kind}"]
+            # In flight at the end of the run accounts for the slack.
+            assert delivered <= sent - dropped
+            assert sent - dropped - delivered < sent * 0.02 + 50
+
+    def test_oob_traffic_only_with_recovery(self):
+        none_result = run("none", error_rate=0.1)
+        pull_result = run("combined-pull", error_rate=0.1)
+        assert none_result.oob_messages == 0
+        assert pull_result.oob_messages > 0
+
+    def test_wall_clock_and_event_counts_reported(self):
+        result = run("none", error_rate=0.1)
+        assert result.sim_events_processed > 1000
+        assert result.wall_clock_seconds > 0.0

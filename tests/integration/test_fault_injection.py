@@ -1,0 +1,149 @@
+"""Fault-injection: the system must degrade gracefully, never crash.
+
+These tests run hostile configurations -- dead channels, zero-sized
+caches, isolated nodes, saturated links -- and assert the simulation
+completes with sane accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.runner import run_scenario
+from repro.topology.generator import path_tree
+from tests.recovery.harness import RecoveryHarness
+from repro.recovery.base import RecoveryConfig
+
+SMALL = dict(
+    n_dispatchers=12,
+    n_patterns=8,
+    publish_rate=10.0,
+    sim_time=3.0,
+    measure_start=0.3,
+    measure_end=2.0,
+    buffer_size=100,
+)
+
+
+class TestDeadChannels:
+    def test_fully_lossy_links_deliver_nothing_remotely(self):
+        result = run_scenario(
+            SimulationConfig(algorithm="none", error_rate=1.0, **SMALL)
+        )
+        # Only publishers subscribed to their own patterns deliver.
+        assert result.delivery_rate < 0.35
+        assert result.unexpected_deliveries == 0
+
+    def test_recovery_with_fully_lossy_oob_does_not_crash(self):
+        result = run_scenario(
+            SimulationConfig(
+                algorithm="combined-pull",
+                error_rate=0.2,
+                oob_error_rate=1.0,
+                **SMALL,
+            )
+        )
+        # Gossip digests still flow on the tree, but every retransmission
+        # dies: recovery achieves nothing, cleanly.
+        assert result.delivery.recovered == 0
+
+    def test_fully_lossy_everything(self):
+        result = run_scenario(
+            SimulationConfig(
+                algorithm="push", error_rate=1.0, oob_error_rate=1.0, **SMALL
+            )
+        )
+        assert result.duplicate_deliveries == 0
+
+
+class TestDegenerateResources:
+    def test_zero_buffer_disables_recovery_but_not_dispatch(self):
+        config = SimulationConfig(
+            algorithm="push", error_rate=0.1, **{**SMALL, "buffer_size": 0}
+        )
+        result = run_scenario(config)
+        # Nothing can be served from empty caches.
+        assert result.delivery.recovered == 0
+        assert result.baseline_rate > 0.5
+
+    def test_single_dispatcher_system(self):
+        config = SimulationConfig(
+            algorithm="combined-pull",
+            error_rate=0.5,
+            n_dispatchers=1,
+            n_patterns=8,
+            pi_max=2,
+            publish_rate=10.0,
+            sim_time=2.0,
+            measure_start=0.2,
+            measure_end=1.0,
+            buffer_size=50,
+        )
+        result = run_scenario(config)
+        # All deliveries are local, hence perfect.
+        assert result.delivery_rate == 1.0
+
+    def test_two_dispatchers(self):
+        config = SimulationConfig(
+            algorithm="push",
+            error_rate=0.3,
+            n_dispatchers=2,
+            n_patterns=4,
+            pi_max=2,
+            publish_rate=10.0,
+            sim_time=3.0,
+            measure_start=0.3,
+            measure_end=1.5,
+            buffer_size=100,
+        )
+        result = run_scenario(config)
+        assert result.delivery_rate > result.baseline_rate
+
+    def test_no_subscriptions_at_all(self):
+        config = SimulationConfig(
+            algorithm="combined-pull", pi_max=0, error_rate=0.1, **SMALL
+        )
+        result = run_scenario(config)
+        # Nothing expected, nothing delivered, rate degenerates to 1.0.
+        assert result.delivery.expected == 0
+        assert result.delivery_rate == 1.0
+
+
+class TestPermanentPartition:
+    def test_severed_subtree_only_loses_its_own_traffic(self):
+        harness = RecoveryHarness(
+            path_tree(4),
+            "combined-pull",
+            {0: (1,), 1: (1,), 2: (1,), 3: (1,)},
+            config=RecoveryConfig(gossip_interval=0.05, p_forward=1.0),
+        )
+        harness.network.remove_link(2, 3)
+        event = harness.publish(0, (1,))
+        harness.run_for(2.0)
+        # Nodes on the publisher's side still get everything...
+        assert event.event_id in harness.delivered_to(1)
+        assert event.event_id in harness.delivered_to(2)
+        # ...the severed node gets nothing, and nothing crashes.
+        assert event.event_id not in harness.delivered_to(3)
+
+
+class TestSaturation:
+    def test_saturated_links_queue_but_account_correctly(self):
+        # 100 kbit/s links cannot carry the offered load: most messages
+        # end the run still queued.  Conservation must still hold.
+        config = SimulationConfig(
+            algorithm="none",
+            error_rate=0.0,
+            bandwidth_bps=100_000.0,
+            **SMALL,
+        )
+        result = run_scenario(config)
+        messages = result.messages
+        in_flight = (
+            messages["sent_event"]
+            - messages["dropped_event"]
+            - messages["delivered_event"]
+        )
+        assert in_flight >= 0
+        assert result.delivery_rate < 1.0

@@ -1,0 +1,40 @@
+"""Golden regression values.
+
+One fixed scenario, one fixed seed, exact expected outputs.  The entire
+stack is deterministic by design (FIFO tie-breaking in the engine, named
+random streams, sorted iteration everywhere), so any change to these
+numbers means observable behaviour changed -- intentionally or not.
+Update the constants deliberately when an algorithmic change is intended,
+and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.runner import run_scenario
+
+GOLDEN_CONFIG = SimulationConfig(
+    n_dispatchers=12,
+    n_patterns=10,
+    publish_rate=10.0,
+    error_rate=0.1,
+    algorithm="combined-pull",
+    sim_time=3.0,
+    measure_start=0.3,
+    measure_end=2.0,
+    buffer_size=100,
+    seed=2024,
+)
+
+
+def test_golden_run_is_bit_for_bit_stable():
+    result = run_scenario(GOLDEN_CONFIG)
+    assert result.delivery_rate == pytest.approx(0.9778024417314095)
+    assert result.baseline_rate == pytest.approx(0.7991120976692564)
+    assert result.events_published == 394
+    assert result.messages["sent_event"] == 1822
+    assert result.messages["sent_gossip"] == 793
+    assert result.sim_events_processed == 4245
+    assert result.tree_diameter == 4

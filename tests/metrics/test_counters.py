@@ -1,0 +1,68 @@
+"""Tests for the message counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.counters import MessageCounters
+from repro.network.message import MessageKind
+
+
+class TestMessageCounters:
+    def test_per_kind_accounting(self):
+        counters = MessageCounters(node_count=3)
+        counters.count_send(MessageKind.EVENT, 0)
+        counters.count_send(MessageKind.EVENT, 1)
+        counters.count_send(MessageKind.GOSSIP, 2)
+        counters.count_drop(MessageKind.EVENT)
+        counters.count_deliver(MessageKind.EVENT)
+        assert counters.sent(MessageKind.EVENT) == 2
+        assert counters.sent(MessageKind.GOSSIP) == 1
+        assert counters.dropped(MessageKind.EVENT) == 1
+        assert counters.delivered(MessageKind.EVENT) == 1
+
+    def test_per_node_tallies(self):
+        counters = MessageCounters(node_count=3)
+        for _ in range(4):
+            counters.count_send(MessageKind.GOSSIP, 1)
+        counters.count_send(MessageKind.EVENT, 2)
+        assert counters.gossip_by_node() == [0, 4, 0]
+        assert counters.events_by_node() == [0, 0, 1]
+        assert counters.gossip_per_dispatcher() == pytest.approx(4 / 3)
+
+    def test_ratio(self):
+        counters = MessageCounters(node_count=2)
+        assert counters.gossip_event_ratio() == 0.0
+        for _ in range(10):
+            counters.count_send(MessageKind.EVENT, 0)
+        for _ in range(3):
+            counters.count_send(MessageKind.GOSSIP, 0)
+        assert counters.gossip_event_ratio() == pytest.approx(0.3)
+
+    def test_oob_messages_pool_requests_and_retransmissions(self):
+        counters = MessageCounters(node_count=2)
+        counters.count_send(MessageKind.OOB_REQUEST, 0)
+        counters.count_send(MessageKind.OOB_EVENT, 1)
+        counters.count_send(MessageKind.OOB_EVENT, 1)
+        assert counters.oob_messages == 3
+
+    def test_loss_rate(self):
+        counters = MessageCounters(node_count=1)
+        assert counters.loss_rate(MessageKind.EVENT) == 0.0
+        for _ in range(4):
+            counters.count_send(MessageKind.EVENT, 0)
+        counters.count_drop(MessageKind.EVENT)
+        assert counters.loss_rate(MessageKind.EVENT) == pytest.approx(0.25)
+
+    def test_snapshot_contains_all_kinds(self):
+        counters = MessageCounters(node_count=1)
+        counters.count_send(MessageKind.CONTROL, 0)
+        snapshot = counters.snapshot()
+        assert snapshot["sent_control"] == 1
+        for kind in MessageKind:
+            assert f"sent_{kind.name.lower()}" in snapshot
+            assert f"dropped_{kind.name.lower()}" in snapshot
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            MessageCounters(node_count=0)

@@ -1,0 +1,47 @@
+"""Tests for the per-node out-of-band tallies and the load-skew metric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.counters import MessageCounters
+from repro.network.message import MessageKind
+
+
+class TestOobByNode:
+    def test_requests_and_retransmissions_tallied(self):
+        counters = MessageCounters(node_count=3)
+        counters.count_send(MessageKind.OOB_REQUEST, 0)
+        counters.count_send(MessageKind.OOB_EVENT, 0)
+        counters.count_send(MessageKind.OOB_EVENT, 2)
+        assert counters.oob_by_node() == [2, 0, 1]
+
+    def test_event_and_gossip_not_in_oob_tally(self):
+        counters = MessageCounters(node_count=2)
+        counters.count_send(MessageKind.EVENT, 0)
+        counters.count_send(MessageKind.GOSSIP, 0)
+        assert counters.oob_by_node() == [0, 0]
+
+
+class TestLoadSkew:
+    def test_no_traffic_is_zero(self):
+        assert MessageCounters(node_count=4).recovery_load_skew() == 0.0
+
+    def test_flat_profile_is_one(self):
+        counters = MessageCounters(node_count=4)
+        for node in range(4):
+            counters.count_send(MessageKind.GOSSIP, node)
+        assert counters.recovery_load_skew() == pytest.approx(1.0)
+
+    def test_concentrated_profile(self):
+        counters = MessageCounters(node_count=4)
+        for _ in range(8):
+            counters.count_send(MessageKind.OOB_EVENT, 0)
+        # mean = 2, max = 8 -> skew 4.
+        assert counters.recovery_load_skew() == pytest.approx(4.0)
+
+    def test_mixed_gossip_and_oob(self):
+        counters = MessageCounters(node_count=2)
+        counters.count_send(MessageKind.GOSSIP, 0)
+        counters.count_send(MessageKind.OOB_REQUEST, 1)
+        assert counters.recovery_load_skew() == pytest.approx(1.0)

@@ -1,0 +1,71 @@
+"""Tests for the time-series container and binning helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.timeseries import TimeSeries, bin_series
+
+
+class TestTimeSeries:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            TimeSeries([0.0, 1.0], [1.0])
+
+    def test_aggregates_skip_none(self):
+        series = TimeSeries([0.0, 1.0, 2.0], [0.5, None, 1.5])
+        assert series.min_value() == 0.5
+        assert series.max_value() == 1.5
+        assert series.mean_value() == pytest.approx(1.0)
+        assert series.defined() == [(0.0, 0.5), (2.0, 1.5)]
+
+    def test_all_none(self):
+        series = TimeSeries([0.0], [None])
+        assert series.min_value() is None
+        assert series.mean_value() is None
+
+    def test_clipped(self):
+        series = TimeSeries([0.0, 1.0, 2.0, 3.0], [1.0, 2.0, 3.0, 4.0])
+        clipped = series.clipped(1.0, 3.0)
+        assert clipped.times == [1.0, 2.0]
+        assert clipped.values == [2.0, 3.0]
+
+    def test_map_preserves_none(self):
+        series = TimeSeries([0.0, 1.0], [2.0, None])
+        doubled = series.map(lambda v: v * 2)
+        assert doubled.values == [4.0, None]
+
+    def test_iteration(self):
+        series = TimeSeries([0.0, 1.0], [5.0, 6.0])
+        assert list(series) == [(0.0, 5.0), (1.0, 6.0)]
+
+
+class TestBinSeries:
+    def test_mean_by_default(self):
+        series = bin_series(
+            [(0.1, 1.0), (0.2, 3.0), (1.5, 10.0)], bin_width=1.0, start=0.0, end=2.0
+        )
+        assert series.values == [pytest.approx(2.0), pytest.approx(10.0)]
+        assert series.times == [0.5, 1.5]
+
+    def test_custom_reducer(self):
+        series = bin_series(
+            [(0.1, 1.0), (0.2, 3.0)],
+            bin_width=1.0,
+            start=0.0,
+            end=1.0,
+            reducer=max,
+        )
+        assert series.values == [3.0]
+
+    def test_out_of_range_samples_dropped(self):
+        series = bin_series(
+            [(-1.0, 5.0), (10.0, 5.0), (0.5, 7.0)], bin_width=1.0, start=0.0, end=1.0
+        )
+        assert series.values == [7.0]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            bin_series([], bin_width=0.0, start=0.0, end=1.0)
+        with pytest.raises(ValueError):
+            bin_series([], bin_width=1.0, start=1.0, end=1.0)

@@ -1,0 +1,31 @@
+"""Tests for the message envelope and kind taxonomy."""
+
+from __future__ import annotations
+
+from repro.network.message import DEFAULT_MESSAGE_SIZE_BITS, Message, MessageKind
+
+
+class TestMessage:
+    def test_defaults(self):
+        message = Message(MessageKind.EVENT, "payload", sender=3)
+        assert message.kind == MessageKind.EVENT
+        assert message.payload == "payload"
+        assert message.sender == 3
+        assert message.size_bits == DEFAULT_MESSAGE_SIZE_BITS
+
+    def test_custom_size(self):
+        message = Message(MessageKind.GOSSIP, None, 0, size_bits=512)
+        assert message.size_bits == 512
+
+    def test_kinds_are_distinct_small_ints(self):
+        values = [int(kind) for kind in MessageKind]
+        assert len(set(values)) == len(values)
+        assert all(value > 0 for value in values)
+
+    def test_default_size_is_event_sized(self):
+        # 256 bytes: the calibrated per-message size (see module docs).
+        assert DEFAULT_MESSAGE_SIZE_BITS == 2048
+
+    def test_repr_is_informative(self):
+        message = Message(MessageKind.OOB_EVENT, "x", 7)
+        assert "OOB_EVENT" in repr(message)

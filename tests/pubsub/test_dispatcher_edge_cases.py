@@ -1,0 +1,114 @@
+"""Edge cases of the dispatcher's message handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.message import Message, MessageKind
+from repro.pubsub.pattern import PatternSpace
+from repro.sim.engine import Simulator
+from repro.topology.generator import path_tree
+from tests.conftest import build_system, make_event
+
+
+def make_two_node_system():
+    sim = Simulator()
+    system = build_system(sim, path_tree(2), PatternSpace(10))
+    return sim, system
+
+
+class TestUnwiredRecovery:
+    def test_gossip_ignored_without_recovery(self):
+        sim, system = make_two_node_system()
+        dispatcher = system.dispatchers[0]
+        dispatcher.receive(Message(MessageKind.GOSSIP, object(), 1), 1)
+        dispatcher.receive_oob(Message(MessageKind.OOB_REQUEST, (), 1), 1)
+        sim.run()  # nothing scheduled, nothing crashed
+
+    def test_control_messages_ignored(self):
+        sim, system = make_two_node_system()
+        system.dispatchers[0].receive(Message(MessageKind.CONTROL, None, 1), 1)
+
+
+class TestRecoveredEventHandling:
+    def test_duplicate_recovered_event_not_redelivered(self):
+        sim, system = make_two_node_system()
+        system.apply_subscriptions({0: (), 1: (3,)})
+        deliveries = []
+        system.set_delivery_callback(
+            lambda node, event, recovered: deliveries.append((node, recovered))
+        )
+        event = make_event(source=0, seq=1, patterns=(3,))
+        dispatcher = system.dispatchers[1]
+        dispatcher.receive_recovered_event(event)
+        dispatcher.receive_recovered_event(event)
+        assert deliveries == [(1, True)]
+        assert dispatcher.recovered_count == 1
+
+    def test_recovered_event_not_counted_when_not_subscribed(self):
+        sim, system = make_two_node_system()
+        system.apply_subscriptions({0: (), 1: (3,)})
+        dispatcher = system.dispatchers[1]
+        event = make_event(source=0, seq=1, patterns=(5,))  # not subscribed
+        dispatcher.receive_recovered_event(event)
+        assert dispatcher.recovered_count == 0
+        assert not dispatcher.cache.contains(event.event_id)
+        # But the event is remembered, so a later tree copy is deduped.
+        assert event.event_id in dispatcher.received_ids
+
+    def test_recovered_event_cached_for_subscriber(self):
+        sim, system = make_two_node_system()
+        system.apply_subscriptions({0: (), 1: (3,)})
+        dispatcher = system.dispatchers[1]
+        event = make_event(source=0, seq=1, patterns=(3,))
+        dispatcher.receive_recovered_event(event)
+        assert dispatcher.cache.contains(event.event_id)
+
+
+class TestDuplicateTreeCopies:
+    def test_duplicate_event_message_dropped(self):
+        sim, system = make_two_node_system()
+        system.apply_subscriptions({0: (), 1: (3,)})
+        deliveries = []
+        system.set_delivery_callback(
+            lambda node, event, recovered: deliveries.append(node)
+        )
+        event = make_event(source=0, seq=1, patterns=(3,))
+        message = Message(MessageKind.EVENT, (event, None), 0)
+        dispatcher = system.dispatchers[1]
+        dispatcher.receive(message, 0)
+        dispatcher.receive(message, 0)
+        assert deliveries == [1]
+
+
+class TestMatchCounters:
+    def test_publish_counts_table_match(self):
+        sim, system = make_two_node_system()
+        system.apply_subscriptions({0: (1,), 1: (2,)})
+        dispatcher = system.dispatchers[0]
+        before = dispatcher.match_operations
+        system.publish(0, (1, 2))
+        assert dispatcher.match_operations > before
+
+    def test_published_and_delivered_counters(self):
+        sim, system = make_two_node_system()
+        system.apply_subscriptions({0: (1,), 1: (1,)})
+        system.publish(0, (1,))
+        sim.run()
+        assert system.dispatchers[0].published_count == 1
+        assert system.dispatchers[0].delivered_count == 1
+        assert system.dispatchers[1].delivered_count == 1
+
+
+class TestForwardedCaching:
+    def test_pure_forwarder_does_not_cache(self):
+        # Paper: "each dispatcher caches only events for which it is
+        # either the publisher or a subscriber".
+        sim = Simulator()
+        system = build_system(sim, path_tree(3), PatternSpace(10))
+        system.apply_subscriptions({0: (), 1: (), 2: (3,)})
+        event = system.publish(0, (3,))
+        sim.run()
+        assert system.dispatchers[0].cache.contains(event.event_id)  # publisher
+        assert not system.dispatchers[1].cache.contains(event.event_id)  # forwarder
+        assert system.dispatchers[2].cache.contains(event.event_id)  # subscriber

@@ -1,0 +1,60 @@
+"""Tests for events and identifiers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pubsub.event import Event, EventId
+from tests.conftest import make_event
+
+
+class TestEventId:
+    def test_equality_and_hash(self):
+        assert EventId(1, 2) == EventId(1, 2)
+        assert EventId(1, 2) != EventId(1, 3)
+        assert EventId(1, 2) != EventId(2, 2)
+        assert hash(EventId(1, 2)) == hash(EventId(1, 2))
+        assert len({EventId(1, 2), EventId(1, 2), EventId(1, 3)}) == 2
+
+    def test_ordering(self):
+        assert EventId(1, 5) < EventId(2, 1)
+        assert EventId(1, 1) < EventId(1, 2)
+
+    def test_as_tuple(self):
+        assert EventId(3, 7).as_tuple() == (3, 7)
+
+    def test_not_equal_to_other_types(self):
+        assert EventId(1, 2) != (1, 2)
+
+
+class TestEvent:
+    def test_construction_and_accessors(self):
+        event = make_event(source=4, seq=9, patterns=(2, 7), publish_time=1.5)
+        assert event.source == 4
+        assert event.event_id == EventId(4, 9)
+        assert event.patterns == (2, 7)
+        assert event.publish_time == 1.5
+
+    def test_matching(self):
+        event = make_event(patterns=(2, 7))
+        assert event.matches(2)
+        assert not event.matches(3)
+        assert event.matches_any({3, 7})
+        assert not event.matches_any({3, 4})
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(ValueError):
+            Event(EventId(0, 1), (), {}, 0.0)
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(ValueError):
+            Event(EventId(0, 1), (2, 3), {2: 1}, 0.0)
+        with pytest.raises(ValueError):
+            Event(EventId(0, 1), (2,), {2: 1, 3: 1}, 0.0)
+
+    def test_identity_semantics(self):
+        a = make_event(source=0, seq=1, patterns=(5,))
+        b = make_event(source=0, seq=1, patterns=(6,))  # same id, other body
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

@@ -1,0 +1,70 @@
+"""Property tests of the route oracle: tables must encode exactly the
+reverse-path routes of the tree, for any topology and assignment."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pubsub.pattern import LOCAL, PatternSpace
+from repro.sim.engine import Simulator
+from repro.topology.generator import random_tree
+from tests.conftest import build_system
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=30), seed=st.integers())
+def test_direction_iff_subscriber_behind_it(n, seed):
+    """x routes p toward neighbor m iff a subscriber of p lies in the
+    subtree behind the x--m edge -- checked against the Tree's own
+    subtree computation."""
+    rng = random.Random(seed)
+    tree = random_tree(n, rng, max_degree=4)
+    space = PatternSpace(8)
+    sim = Simulator()
+    system = build_system(sim, tree, space)
+    assignment = {
+        node: space.sample_subscription(rng.randint(0, 2), rng)
+        for node in range(n)
+    }
+    system.apply_subscriptions(assignment)
+    subscribers = {
+        pattern: {node for node, pats in assignment.items() if pattern in pats}
+        for pattern in range(8)
+    }
+    for node in range(n):
+        table = system.dispatchers[node].table
+        for pattern in range(8):
+            directions = set(table.directions(pattern))
+            expected = set()
+            if node in subscribers[pattern]:
+                expected.add(LOCAL)
+            for neighbor in tree.neighbors(node):
+                behind = tree.subtree_through(node, neighbor)
+                if subscribers[pattern] & behind:
+                    expected.add(neighbor)
+            assert directions == expected, (node, pattern)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=2, max_value=25), seed=st.integers())
+def test_rebuild_is_idempotent(n, seed):
+    rng = random.Random(seed)
+    tree = random_tree(n, rng, max_degree=4)
+    space = PatternSpace(6)
+    sim = Simulator()
+    system = build_system(sim, tree, space)
+    assignment = {
+        node: space.sample_subscription(rng.randint(0, 2), rng)
+        for node in range(n)
+    }
+    system.apply_subscriptions(assignment)
+    first = [
+        {p: tuple(dirs) for p, dirs in d.table} for d in system.dispatchers
+    ]
+    system.rebuild_routes()
+    second = [
+        {p: tuple(dirs) for p, dirs in d.table} for d in system.dispatchers
+    ]
+    assert first == second

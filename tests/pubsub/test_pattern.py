@@ -1,0 +1,71 @@
+"""Tests for the pattern space and the content model."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pubsub.pattern import LOCAL, PatternSpace
+
+
+class TestPatternSpace:
+    def test_contains_and_validate(self):
+        space = PatternSpace(70)
+        assert space.contains(0)
+        assert space.contains(69)
+        assert not space.contains(70)
+        assert not space.contains(-1)
+        with pytest.raises(ValueError):
+            space.validate(70)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            PatternSpace(0)
+
+    def test_subscription_sampling_distinct_and_sorted(self):
+        space = PatternSpace(10)
+        rng = random.Random(1)
+        for _ in range(50):
+            subscription = space.sample_subscription(4, rng)
+            assert len(set(subscription)) == 4
+            assert list(subscription) == sorted(subscription)
+            assert all(space.contains(p) for p in subscription)
+
+    def test_subscription_oversampling_rejected(self):
+        with pytest.raises(ValueError):
+            PatternSpace(3).sample_subscription(4, random.Random(0))
+
+    def test_event_patterns_bounded(self):
+        space = PatternSpace(70)
+        rng = random.Random(2)
+        sizes = Counter()
+        for _ in range(600):
+            patterns = space.sample_event_patterns(rng, max_patterns=3)
+            sizes[len(patterns)] += 1
+            assert 1 <= len(patterns) <= 3
+            assert len(set(patterns)) == len(patterns)
+        # Uniform over {1, 2, 3}: each size should actually occur.
+        assert set(sizes) == {1, 2, 3}
+        for count in sizes.values():
+            assert count > 120
+
+    def test_event_patterns_bad_max_rejected(self):
+        with pytest.raises(ValueError):
+            PatternSpace(5).sample_event_patterns(random.Random(0), max_patterns=0)
+
+    def test_matching_is_containment(self):
+        assert PatternSpace.matches((3, 5, 9), 5)
+        assert not PatternSpace.matches((3, 5, 9), 4)
+
+    def test_local_sentinel_is_not_a_node_id(self):
+        assert LOCAL < 0
+
+    @given(st.integers(min_value=1, max_value=50), st.integers())
+    def test_sampling_stays_in_space(self, size, seed):
+        space = PatternSpace(size)
+        rng = random.Random(seed)
+        patterns = space.sample_event_patterns(rng, max_patterns=3)
+        assert all(space.contains(p) for p in patterns)

@@ -1,0 +1,115 @@
+"""Tests for the subscription table."""
+
+from __future__ import annotations
+
+from repro.pubsub.pattern import LOCAL
+from repro.pubsub.subscription import SubscriptionTable
+
+
+class TestDirections:
+    def test_add_returns_first_flag(self):
+        table = SubscriptionTable()
+        assert table.add(5, 2) is True
+        assert table.add(5, 3) is False
+        assert table.add(6, 2) is True
+
+    def test_directions_sorted(self):
+        table = SubscriptionTable()
+        table.add(5, 3)
+        table.add(5, LOCAL)
+        table.add(5, 1)
+        assert table.directions(5) == [LOCAL, 1, 3]
+        assert table.neighbor_directions(5) == [1, 3]
+
+    def test_remove_drops_empty_pattern(self):
+        table = SubscriptionTable()
+        table.add(5, 1)
+        table.remove(5, 1)
+        assert not table.has_pattern(5)
+        assert table.directions(5) == []
+        table.remove(5, 1)  # idempotent
+
+    def test_local_queries(self):
+        table = SubscriptionTable()
+        table.add(5, LOCAL)
+        table.add(6, 2)
+        assert table.is_local(5)
+        assert not table.is_local(6)
+        assert table.local_patterns() == [5]
+        assert table.patterns() == [5, 6]
+
+    def test_drop_direction_across_patterns(self):
+        table = SubscriptionTable()
+        table.add(5, 1)
+        table.add(5, 2)
+        table.add(6, 1)
+        table.drop_direction(1)
+        assert table.directions(5) == [2]
+        assert not table.has_pattern(6)
+
+    def test_clear(self):
+        table = SubscriptionTable()
+        table.add(5, 1)
+        table.mark_forwarded(5, 2)
+        table.clear()
+        assert len(table) == 0
+        assert not table.was_forwarded(5, 2)
+
+
+class TestMatching:
+    def test_matching_directions_is_union(self):
+        table = SubscriptionTable()
+        table.add(5, 1)
+        table.add(6, 2)
+        table.add(6, LOCAL)
+        table.add(7, 1)
+        assert table.matching_directions((5, 6)) == {1, 2, LOCAL}
+        assert table.matching_directions((7,)) == {1}
+        assert table.matching_directions((9,)) == set()
+
+    def test_matches_locally(self):
+        table = SubscriptionTable()
+        table.add(5, 1)
+        table.add(6, LOCAL)
+        assert table.matches_locally((6, 9))
+        assert not table.matches_locally((5, 9))
+
+
+class TestForwardingMarks:
+    def test_mark_forwarded_once(self):
+        table = SubscriptionTable()
+        assert table.mark_forwarded(5, 1) is True
+        assert table.mark_forwarded(5, 1) is False
+        assert table.mark_forwarded(5, 2) is True
+
+    def test_unmark_allows_reforwarding(self):
+        table = SubscriptionTable()
+        table.mark_forwarded(5, 1)
+        table.unmark_forwarded(5, 1)
+        assert table.mark_forwarded(5, 1) is True
+
+    def test_remove_pattern_keeps_marks(self):
+        # Marks record what neighbors were told; removing the last
+        # direction must not silently "untell" them (the unsubscription
+        # protocol does that explicitly via unmark_forwarded).
+        table = SubscriptionTable()
+        table.add(5, 1)
+        table.mark_forwarded(5, 2)
+        table.remove(5, 1)
+        assert table.was_forwarded(5, 2)
+
+    def test_drop_direction_clears_that_neighbors_marks(self):
+        table = SubscriptionTable()
+        table.add(5, 1)
+        table.mark_forwarded(5, 2)
+        table.mark_forwarded(5, 3)
+        table.drop_direction(2)
+        assert not table.was_forwarded(5, 2)
+        assert table.was_forwarded(5, 3)
+
+    def test_iteration_is_deterministic(self):
+        table = SubscriptionTable()
+        table.add(7, 2)
+        table.add(5, 1)
+        table.add(5, LOCAL)
+        assert list(table) == [(5, [LOCAL, 1]), (7, [2])]

@@ -1,0 +1,108 @@
+"""Tests for the idealized acknowledgment comparator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.recovery.base import RecoveryConfig
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.runner import run_scenario
+from repro.topology.generator import path_tree
+from tests.recovery.harness import RecoveryHarness
+
+CONFIG = RecoveryConfig(gossip_interval=0.05)
+
+
+def make_harness(subscriptions, **kwargs):
+    harness = RecoveryHarness(
+        path_tree(3), "ack", subscriptions, config=CONFIG, **kwargs
+    )
+    for recovery in harness.recoveries:
+        recovery.recipient_resolver = harness.system.expected_recipients
+    return harness
+
+
+class TestAckProtocol:
+    def test_normal_delivery_produces_acks_and_clears_pending(self):
+        harness = make_harness({0: (1,), 1: (), 2: (1,)})
+        harness.publish(0, (1,))
+        harness.run_for(0.2)
+        publisher = harness.recovery(0)
+        assert publisher.pending_events == 0
+        assert publisher.acks_received == 1  # from node 2 (node 0 is local)
+        assert harness.recovery(2).acks_sent == 1
+
+    def test_lost_event_retransmitted_until_acked(self):
+        harness = make_harness({0: (1,), 1: (), 2: (1,)})
+        lost = harness.publish_lossy(0, (1,), dead_links=[(1, 2)])
+        assert lost.event_id not in harness.delivered_to(2)
+        harness.run_for(1.0)
+        assert lost.event_id in harness.recovered_at(2)
+        assert harness.recovery(0).pending_events == 0
+        assert harness.recovery(0).stats.retransmissions_sent >= 1
+
+    def test_full_delivery_on_lossy_scenario(self):
+        config = SimulationConfig(
+            n_dispatchers=15,
+            n_patterns=10,
+            publish_rate=15.0,
+            error_rate=0.15,
+            sim_time=4.0,
+            measure_start=0.5,
+            measure_end=2.5,
+            buffer_size=400,
+            algorithm="ack",
+        )
+        result = run_scenario(config)
+        # Idealized acknowledgments are an upper bound: near-full delivery.
+        assert result.delivery_rate > 0.99
+        assert result.oob_messages > 0
+
+    def test_gives_up_after_retry_budget(self):
+        harness = make_harness({0: (1,), 1: (), 2: (1,)})
+        # Permanently sever node 2: the ACK can never arrive.
+        harness.network.link(1, 2).error_rate = 1.0
+        harness.publish(0, (1,))
+        # Block the out-of-band path too by dropping all OOB traffic.
+        import dataclasses
+
+        harness.network.config = dataclasses.replace(
+            harness.network.config, oob_error_rate=1.0
+        )
+        harness.run_for(5.0)
+        publisher = harness.recovery(0)
+        assert publisher.pending_events == 0
+        assert publisher.gave_up == 1
+
+    def test_resolver_required(self):
+        harness = RecoveryHarness(
+            path_tree(2), "ack", {0: (1,), 1: (1,)}, config=CONFIG
+        )
+        with pytest.raises(RuntimeError):
+            harness.publish(0, (1,))
+
+    def test_no_recovery_traffic_when_nothing_published(self):
+        harness = make_harness({0: (1,), 1: (), 2: (1,)})
+        harness.run_for(1.0)
+        total = sum(r.stats.retransmissions_sent for r in harness.recoveries)
+        assert total == 0
+        skipped = sum(r.stats.rounds_skipped for r in harness.recoveries)
+        rounds = sum(r.stats.rounds for r in harness.recoveries)
+        assert skipped == rounds
+
+
+class TestAckViaBuilder:
+    def test_builder_installs_resolver(self):
+        config = SimulationConfig(
+            n_dispatchers=8,
+            n_patterns=6,
+            publish_rate=10.0,
+            error_rate=0.1,
+            sim_time=2.0,
+            measure_start=0.2,
+            measure_end=1.0,
+            buffer_size=100,
+            algorithm="ack",
+        )
+        result = run_scenario(config)  # would raise without the resolver
+        assert result.delivery_rate > 0.9

@@ -1,0 +1,112 @@
+"""Tests for the hpcast-style gossip-only dissemination comparator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.recovery.base import RecoveryConfig
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.runner import run_scenario
+from repro.topology.generator import path_tree, star_tree
+from tests.recovery.harness import RecoveryHarness
+
+CONFIG = RecoveryConfig(gossip_interval=0.05, p_forward=1.0)
+
+
+class TestDissemination:
+    def test_tree_routing_is_disabled(self):
+        # Gossip timers never started: with tree routing off, the event
+        # cannot move at all.
+        harness = RecoveryHarness(
+            path_tree(3),
+            "gossip-dissemination",
+            {0: (1,), 2: (1,)},
+            config=CONFIG,
+            start=False,
+        )
+        assert all(
+            not d.tree_routing_enabled for d in harness.system.dispatchers
+        )
+        event = harness.publish(0, (1,))
+        harness.run_for(0.5)
+        assert event.event_id not in harness.delivered_to(2)
+
+    def test_events_spread_epidemically(self):
+        harness = RecoveryHarness(
+            path_tree(4),
+            "gossip-dissemination",
+            {0: (1,), 1: (), 2: (), 3: (1,)},
+            config=CONFIG,
+        )
+        event = harness.publish(0, (1,))
+        harness.run_for(2.0)
+        assert event.event_id in harness.delivered_to(3)
+        # The delivery is attributed to gossip, not to the substrate.
+        assert event.event_id in harness.recovered_at(3)
+
+    def test_non_interested_nodes_carry_the_event(self):
+        # The paper's first drawback: nodes that never subscribed cache
+        # and relay traffic that is useless to them.
+        harness = RecoveryHarness(
+            path_tree(3), "gossip-dissemination", {0: (1,), 2: (1,)}, config=CONFIG
+        )
+        event = harness.publish(0, (1,))
+        harness.run_for(1.0)
+        middle = harness.system.dispatchers[1]
+        assert middle.cache.contains(event.event_id)
+        assert not middle.table.matches_locally(event.patterns)
+
+    def test_probabilistic_delivery_can_fail(self):
+        # With a tiny forwarding probability the infect-and-die epidemic
+        # regularly dies before reaching the far subscriber.
+        config = RecoveryConfig(gossip_interval=0.05, p_forward=0.05)
+        harness = RecoveryHarness(
+            path_tree(6),
+            "gossip-dissemination",
+            {0: (1,), 5: (1,)},
+            config=config,
+        )
+        events = [harness.publish(0, (1,)) for _ in range(10)]
+        harness.run_for(3.0)
+        missing = [
+            e for e in events if e.event_id not in harness.delivered_to(5)
+        ]
+        assert missing, "expected the weak epidemic to lose something"
+
+    def test_end_to_end_scenario(self):
+        config = SimulationConfig(
+            n_dispatchers=15,
+            n_patterns=10,
+            publish_rate=10.0,
+            error_rate=0.0,
+            algorithm="gossip-dissemination",
+            sim_time=4.0,
+            measure_start=0.5,
+            measure_end=2.0,
+            buffer_size=500,
+            gossip_interval=0.02,
+        )
+        result = run_scenario(config)
+        # Reasonable but imperfect delivery even on reliable links --
+        # exactly the paper's second drawback.
+        assert 0.5 < result.delivery_rate
+        assert result.duplicate_deliveries == 0
+        # All remote deliveries happened via gossip.
+        assert result.delivery.recovered == result.delivery.delivered - (
+            result.delivery.delivered_normally
+        )
+        assert result.messages["sent_gossip"] > 0
+        assert result.messages["sent_event"] == 0
+
+    def test_star_hub_sees_everything(self):
+        # Drawback 4: central, well-connected nodes carry the load.
+        harness = RecoveryHarness(
+            star_tree(5),
+            "gossip-dissemination",
+            {1: (1,), 2: (1,), 3: (1,), 4: (1,)},
+            config=CONFIG,
+        )
+        events = [harness.publish(1, (1,)) for _ in range(5)]
+        harness.run_for(2.0)
+        hub = harness.system.dispatchers[0]
+        assert all(hub.cache.contains(e.event_id) for e in events)

@@ -1,0 +1,155 @@
+"""Tests for sequence-number loss detection and the Lost buffer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.recovery.loss_detector import LossDetector
+from tests.conftest import make_event
+
+
+LOCAL_PATTERNS = frozenset({3, 8})
+
+
+def ev(source, pattern, seq):
+    return make_event(
+        source=source,
+        seq=seq,
+        patterns=(pattern,),
+        pattern_seqs={pattern: seq},
+    )
+
+
+class TestDetection:
+    def test_in_order_stream_detects_nothing(self):
+        detector = LossDetector()
+        for seq in range(1, 6):
+            assert detector.observe(ev(0, 3, seq), LOCAL_PATTERNS, 0.0) == []
+        assert detector.detected == 0
+        assert not detector.has_losses()
+
+    def test_gap_detected_exactly(self):
+        detector = LossDetector()
+        detector.observe(ev(0, 3, 1), LOCAL_PATTERNS, 0.0)
+        new = detector.observe(ev(0, 3, 4), LOCAL_PATTERNS, 1.0)
+        assert [(e.source, e.pattern, e.seq) for e in new] == [(0, 3, 2), (0, 3, 3)]
+        assert detector.detected == 2
+        assert detector.is_pending(0, 3, 2)
+        assert detector.is_pending(0, 3, 3)
+
+    def test_first_event_with_high_seq_reveals_prefix_losses(self):
+        detector = LossDetector()
+        new = detector.observe(ev(0, 3, 3), LOCAL_PATTERNS, 0.0)
+        assert [e.seq for e in new] == [1, 2]
+
+    def test_non_local_patterns_ignored(self):
+        detector = LossDetector()
+        new = detector.observe(ev(0, 5, 4), LOCAL_PATTERNS, 0.0)
+        assert new == []
+        assert not detector.has_losses()
+
+    def test_multi_pattern_event_tracks_each_local_stream(self):
+        detector = LossDetector()
+        event = make_event(
+            source=0, seq=1, patterns=(3, 8), pattern_seqs={3: 2, 8: 3}
+        )
+        new = detector.observe(event, LOCAL_PATTERNS, 0.0)
+        assert {(e.pattern, e.seq) for e in new} == {(3, 1), (8, 1), (8, 2)}
+
+    def test_streams_are_per_source(self):
+        detector = LossDetector()
+        detector.observe(ev(0, 3, 2), LOCAL_PATTERNS, 0.0)
+        new = detector.observe(ev(1, 3, 1), LOCAL_PATTERNS, 0.0)
+        assert new == []
+
+    def test_duplicate_arrival_is_noop(self):
+        detector = LossDetector()
+        detector.observe(ev(0, 3, 2), LOCAL_PATTERNS, 0.0)
+        before = detector.pending()
+        detector.observe(ev(0, 3, 2), LOCAL_PATTERNS, 0.0)
+        assert detector.pending() == before
+
+
+class TestRecovery:
+    def test_arrival_of_missing_seq_clears_entry(self):
+        detector = LossDetector()
+        detector.observe(ev(0, 3, 1), LOCAL_PATTERNS, 0.0)
+        detector.observe(ev(0, 3, 4), LOCAL_PATTERNS, 0.0)
+        detector.observe(ev(0, 3, 2), LOCAL_PATTERNS, 1.0)
+        assert not detector.is_pending(0, 3, 2)
+        assert detector.is_pending(0, 3, 3)
+        assert detector.recovered == 1
+
+    def test_full_recovery_empties_buffer(self):
+        detector = LossDetector()
+        detector.observe(ev(0, 3, 5), LOCAL_PATTERNS, 0.0)
+        for seq in (1, 2, 3, 4):
+            detector.observe(ev(0, 3, seq), LOCAL_PATTERNS, 1.0)
+        assert not detector.has_losses()
+        assert detector.recovered == 4
+
+
+class TestQueries:
+    def test_entries_grouped_by_pattern_and_source(self):
+        detector = LossDetector()
+        detector.observe(ev(0, 3, 3), LOCAL_PATTERNS, 0.0)
+        detector.observe(ev(1, 8, 2), LOCAL_PATTERNS, 0.0)
+        assert detector.patterns_with_losses() == [3, 8]
+        assert detector.sources_with_losses() == [0, 1]
+        assert detector.entries_for_pattern(3) == [(0, 3, 1), (0, 3, 2)]
+        assert detector.entries_for_source(1) == [(1, 8, 1)]
+
+    def test_entries_limit(self):
+        detector = LossDetector()
+        detector.observe(ev(0, 3, 10), LOCAL_PATTERNS, 0.0)
+        assert len(detector.entries_for_pattern(3, limit=4)) == 4
+
+    def test_entries_oldest_first(self):
+        detector = LossDetector()
+        detector.observe(ev(0, 3, 2), LOCAL_PATTERNS, 0.0)
+        detector.observe(ev(0, 3, 4), LOCAL_PATTERNS, 1.0)
+        keys = detector.entries_for_pattern(3)
+        assert keys == [(0, 3, 1), (0, 3, 3)]
+
+
+class TestBounds:
+    def test_capacity_drops_oldest(self):
+        detector = LossDetector(capacity=3)
+        detector.observe(ev(0, 3, 6), LOCAL_PATTERNS, 0.0)  # misses 1..5
+        assert detector.pending() == 3
+        assert detector.abandoned == 2
+        # The oldest (lowest seq) entries were dropped.
+        assert detector.entries_for_pattern(3) == [(0, 3, 3), (0, 3, 4), (0, 3, 5)]
+
+    def test_abandoned_entries_not_redetected(self):
+        detector = LossDetector(capacity=2)
+        detector.observe(ev(0, 3, 5), LOCAL_PATTERNS, 0.0)
+        # seq 1, 2 abandoned; their late arrival counts as nothing special
+        detector.observe(ev(0, 3, 1), LOCAL_PATTERNS, 1.0)
+        assert detector.recovered == 0
+        assert detector.pending() == 2
+
+    def test_give_up_age_prunes_lazily(self):
+        detector = LossDetector(give_up_age=1.0)
+        detector.observe(ev(0, 3, 3), LOCAL_PATTERNS, 0.0)
+        assert detector.pending() == 2
+        assert detector.patterns_with_losses(now=2.5) == []
+        assert detector.abandoned == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LossDetector(capacity=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seqs=st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=40)
+    )
+    def test_pending_equals_unseen_below_max(self, seqs):
+        detector = LossDetector()
+        for seq in seqs:
+            detector.observe(ev(0, 3, seq), LOCAL_PATTERNS, 0.0)
+        max_seen = max(seqs)
+        expected = {s for s in range(1, max_seen)} - set(seqs)
+        actual = {key[2] for key in detector.entries_for_pattern(3)}
+        assert actual == expected

@@ -1,0 +1,79 @@
+"""Fine-grained push behaviour: pattern pool, multi-hop requests, and
+request targeting."""
+
+from __future__ import annotations
+
+from repro.recovery.base import RecoveryConfig
+from repro.recovery.digest import PushGossip
+from repro.topology.generator import path_tree
+from tests.recovery.harness import RecoveryHarness
+
+CONFIG = RecoveryConfig(gossip_interval=0.05, p_forward=1.0)
+
+
+class TestPatternPool:
+    def test_push_draws_from_whole_table(self):
+        # Node 1 subscribes to nothing but forwards pattern 1 (both ends
+        # subscribe).  Its push rounds can still pick pattern 1 -- "p is
+        # selected by considering the whole subscription table".
+        harness = RecoveryHarness(
+            path_tree(3), "push", {0: (1,), 1: (), 2: (1,)}, config=CONFIG,
+            start=False,
+        )
+        captured = []
+        dispatcher = harness.system.dispatchers[1]
+        original = dispatcher.send_gossip
+
+        def spy(neighbor, payload, size_bits=None):
+            captured.append(payload)
+            original(neighbor, payload)
+
+        dispatcher.send_gossip = spy
+        harness.recovery(1).start()
+        harness.run_for(0.5)
+        assert captured, "forwarder never gossiped"
+        assert all(p.pattern == 1 for p in captured if isinstance(p, PushGossip))
+
+    def test_no_patterns_means_skipped_rounds(self):
+        harness = RecoveryHarness(
+            path_tree(2), "push", {0: (), 1: ()}, config=CONFIG
+        )
+        harness.run_for(0.5)
+        for recovery in harness.recoveries:
+            assert recovery.stats.rounds == recovery.stats.rounds_skipped
+
+
+class TestRequestTargeting:
+    def test_request_goes_to_original_gossiper_not_previous_hop(self):
+        # 0(sub,publisher) - 1(forwarder) - 2(sub, missed the event).
+        # The digest travels 0 -> 1 -> 2; node 2's request must go to the
+        # *gossiper* (0) out of band, not to node 1.
+        harness = RecoveryHarness(
+            path_tree(3), "push", {0: (1,), 1: (), 2: (1,)}, config=CONFIG,
+            start=False,
+        )
+        lost = harness.publish_lossy(0, (1,), dead_links=[(1, 2)])
+        requests = []
+        dispatcher2 = harness.system.dispatchers[2]
+        original = dispatcher2.send_oob_request
+
+        def spy(to_node, payload):
+            requests.append((to_node, payload))
+            original(to_node, payload)
+
+        dispatcher2.send_oob_request = spy
+        harness.recovery(0).start()  # only node 0 gossips
+        harness.recovery(2).timer.stop()
+        harness.run_for(1.0)
+        assert requests
+        assert all(to_node == 0 for to_node, _ in requests)
+        assert lost.event_id in harness.recovered_at(2)
+
+    def test_non_subscriber_never_requests(self):
+        harness = RecoveryHarness(
+            path_tree(3), "push", {0: (1,), 1: (), 2: (1,)}, config=CONFIG
+        )
+        harness.publish_lossy(0, (1,), dead_links=[(0, 1)])
+        harness.run_for(1.0)
+        # Node 1 forwards digests but subscribes to nothing: no requests.
+        assert harness.recovery(1).stats.requests_sent == 0

@@ -1,0 +1,91 @@
+"""Recovery across topology changes: stale routes, rebuilt tables."""
+
+from __future__ import annotations
+
+from repro.recovery.base import RecoveryConfig
+from repro.recovery.digest import PushGossip, SubscriberPullGossip
+from repro.topology.generator import path_tree
+from tests.recovery.harness import RecoveryHarness
+
+CONFIG = RecoveryConfig(gossip_interval=0.05, p_forward=1.0)
+
+
+class TestStaleRoutes:
+    def test_stale_publisher_route_is_dropped_then_refreshed(self):
+        # 0-1-2: node 2 loses an event, then the overlay is rewired to
+        # 0-1, 0-2 (node 2 now adjacent to the publisher).  The stored
+        # route (via 1) is stale; the next event refreshes it and the
+        # pull succeeds over the new link.
+        harness = RecoveryHarness(
+            path_tree(3), "publisher-pull", {0: (), 1: (), 2: (1,)}, config=CONFIG
+        )
+        lost = harness.publish_lossy(0, (1,), dead_links=[(1, 2)])
+        harness.publish(0, (1,))  # reveals the gap, stores route (1, 0)
+        harness.run_for(0.01)
+        # Rewire before recovery completes: drop 1-2, add 0-2.
+        harness.network.remove_link(1, 2)
+        harness.network.add_link(0, 2)
+        harness.system.rebuild_routes()
+        # Another event travels the new link and refreshes Routes[0].
+        harness.publish(0, (1,))
+        harness.run_for(2.0)
+        assert lost.event_id in harness.recovered_at(2)
+
+    def test_gossip_toward_missing_link_is_lost_not_crashing(self):
+        harness = RecoveryHarness(
+            path_tree(3), "publisher-pull", {0: (), 1: (), 2: (1,)}, config=CONFIG
+        )
+        lost = harness.publish_lossy(0, (1,), dead_links=[(1, 2)])
+        harness.publish(0, (1,))
+        harness.run_for(0.01)
+        # Sever node 2 completely: its stored route is now useless.
+        harness.network.remove_link(1, 2)
+        harness.system.rebuild_routes()
+        harness.run_for(1.0)  # rounds fire, messages die on the dead hop
+        assert lost.event_id not in harness.delivered_to(2)
+        assert harness.recovery(2).stats.rounds > 0
+
+
+class TestForeignPayloads:
+    def test_pull_ignores_push_payloads(self):
+        harness = RecoveryHarness(
+            path_tree(2), "subscriber-pull", {0: (1,), 1: (1,)}, config=CONFIG
+        )
+        recovery = harness.recovery(1)
+        recovery.handle_gossip(PushGossip(0, 1, ()), from_node=0)
+        # handled counter untouched by a foreign payload, nothing crashed.
+        assert recovery.stats.gossip_handled == 0
+
+    def test_push_ignores_pull_payloads(self):
+        harness = RecoveryHarness(
+            path_tree(2), "push", {0: (1,), 1: (1,)}, config=CONFIG
+        )
+        recovery = harness.recovery(1)
+        recovery.handle_gossip(
+            SubscriberPullGossip(0, 1, ((0, 1, 1),)), from_node=0
+        )
+        assert recovery.stats.gossip_handled == 0
+
+    def test_none_ignores_everything(self):
+        harness = RecoveryHarness(
+            path_tree(2), "none", {0: (1,), 1: (1,)}, config=CONFIG
+        )
+        harness.recovery(1).handle_gossip(PushGossip(0, 1, ()), from_node=0)
+        harness.recovery(1).handle_oob_request((0,), from_node=0)
+
+
+class TestRebuildDuringRecovery:
+    def test_table_rebuild_does_not_break_gossip_state(self):
+        harness = RecoveryHarness(
+            path_tree(4),
+            "combined-pull",
+            {0: (1,), 1: (), 2: (), 3: (1,)},
+            config=CONFIG,
+        )
+        lost = harness.publish_lossy(0, (1,), dead_links=[(2, 3)])
+        harness.publish(0, (1,))
+        harness.run_for(0.02)
+        # Rebuild tables mid-recovery (as the reconfiguration engine does).
+        harness.system.rebuild_routes()
+        harness.run_for(2.0)
+        assert lost.event_id in harness.recovered_at(3)

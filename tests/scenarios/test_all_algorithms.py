@@ -1,0 +1,39 @@
+"""Every registered algorithm must run end-to-end through the builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.recovery import ALGORITHMS
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.runner import run_scenario
+
+TINY = dict(
+    n_dispatchers=10,
+    n_patterns=8,
+    publish_rate=10.0,
+    error_rate=0.15,
+    sim_time=2.5,
+    measure_start=0.3,
+    measure_end=1.5,
+    buffer_size=80,
+    seed=13,
+)
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_algorithm_runs_cleanly(algorithm):
+    result = run_scenario(SimulationConfig(algorithm=algorithm, **TINY))
+    assert 0.0 <= result.delivery_rate <= 1.0
+    assert result.unexpected_deliveries == 0
+    assert result.duplicate_deliveries == 0
+    assert result.events_published > 100
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    sorted(set(ALGORITHMS) - {"none", "random-push", "gossip-dissemination"}),
+)
+def test_recovering_algorithms_beat_their_own_baseline(algorithm):
+    result = run_scenario(SimulationConfig(algorithm=algorithm, **TINY))
+    assert result.delivery_rate > result.baseline_rate, algorithm

@@ -1,0 +1,102 @@
+"""Tests for the experiment definitions (scaling rules and plumbing).
+
+The full experiments are exercised by ``benchmarks/``; here we verify the
+cheap invariants: scale selection, the buffer-equivalence rule, and the
+result container -- plus one miniature end-to-end experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import experiments
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.experiments import (
+    ExperimentResult,
+    base_config,
+    equivalent_buffer,
+    fig3a_lossy_delivery,
+    scale_mode,
+)
+
+
+class TestScaling:
+    def test_default_mode_is_bench(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert scale_mode() == "bench"
+        config = base_config()
+        assert config.n_dispatchers == 50
+        assert config.n_patterns == 35
+
+    def test_paper_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        assert scale_mode() == "paper"
+        config = base_config()
+        assert config.n_dispatchers == 100
+        assert config.n_patterns == 70
+        assert config.sim_time == 25.0
+        assert config.buffer_size == 1500
+
+    def test_subscribers_per_pattern_preserved(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        bench = base_config()
+        paper = SimulationConfig()
+        assert bench.subscribers_per_pattern == pytest.approx(
+            paper.subscribers_per_pattern, rel=0.01
+        )
+
+    def test_load_variants(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert base_config("high").publish_rate == 50.0
+        assert base_config("low").publish_rate == 5.0
+        with pytest.raises(ValueError):
+            base_config("medium")
+
+    def test_equivalent_buffer_preserves_persistence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        bench = base_config()
+        paper = SimulationConfig()
+        for paper_beta in (500, 1500, 4000):
+            bench_beta = equivalent_buffer(bench, paper_beta)
+            paper_seconds = paper_beta / paper.estimated_cache_fill_rate()
+            bench_seconds = bench_beta / bench.estimated_cache_fill_rate()
+            assert bench_seconds == pytest.approx(paper_seconds, rel=0.05)
+
+    def test_equivalent_buffer_monotone(self):
+        bench = base_config()
+        betas = [equivalent_buffer(bench, b) for b in (500, 1500, 4000)]
+        assert betas == sorted(betas)
+        assert betas[0] < betas[-1]
+
+
+class TestExperimentResult:
+    def test_container_accessors(self):
+        result = ExperimentResult(
+            "FigT", "title", "x", [1, 2], curves={"c": [0.1, 0.2]}
+        )
+        assert result.curve("c") == [0.1, 0.2]
+        assert result.final("c") == 0.2
+        assert "FigT" in result.to_table()
+
+
+class TestMiniatureExperiment:
+    def test_fig3a_runs_with_subset(self, monkeypatch):
+        # Shrink the scenario drastically so this stays a unit test.
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        tiny = SimulationConfig(
+            n_dispatchers=10,
+            n_patterns=8,
+            publish_rate=10.0,
+            sim_time=2.0,
+            measure_start=0.3,
+            measure_end=1.2,
+            buffer_size=60,
+        )
+        monkeypatch.setattr(
+            experiments, "base_config", lambda load="high", seed=42: tiny
+        )
+        result = fig3a_lossy_delivery(
+            error_rate=0.2, algorithms=("none", "combined-pull")
+        )
+        rates = dict(zip(result.x_values, result.curves["delivery_rate"]))
+        assert rates["combined-pull"] > rates["none"]

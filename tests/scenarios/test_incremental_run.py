@@ -1,0 +1,70 @@
+"""Tests for incremental execution and repeated result collection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.builder import Simulation
+from repro.scenarios.config import SimulationConfig
+
+FAST = SimulationConfig(
+    n_dispatchers=10,
+    n_patterns=8,
+    publish_rate=10.0,
+    sim_time=3.0,
+    measure_start=0.3,
+    measure_end=2.0,
+    buffer_size=80,
+    error_rate=0.1,
+    algorithm="combined-pull",
+)
+
+
+class TestIncrementalRun:
+    def test_run_with_growing_horizons(self):
+        simulation = Simulation(FAST)
+        partial = simulation.run(until=1.0)
+        assert simulation.sim.now == pytest.approx(1.0)
+        final = simulation.run(until=3.0)
+        assert simulation.sim.now == pytest.approx(3.0)
+        assert final.events_published >= partial.events_published
+        assert final.sim_events_processed > partial.sim_events_processed
+
+    def test_incremental_equals_one_shot(self):
+        stepped = Simulation(FAST)
+        stepped.run(until=1.0)
+        stepped.run(until=2.0)
+        stepped_result = stepped.run(until=3.0)
+
+        oneshot_result = Simulation(FAST).run(until=3.0)
+        assert stepped_result.delivery_rate == oneshot_result.delivery_rate
+        assert stepped_result.messages == oneshot_result.messages
+        assert (
+            stepped_result.sim_events_processed
+            == oneshot_result.sim_events_processed
+        )
+
+    def test_collect_result_is_repeatable(self):
+        simulation = Simulation(FAST)
+        simulation.run()
+        first = simulation.collect_result()
+        second = simulation.collect_result()
+        assert first.delivery_rate == second.delivery_rate
+        assert first.messages == second.messages
+
+    def test_start_is_idempotent(self):
+        simulation = Simulation(FAST)
+        simulation.start()
+        simulation.start()
+        result = simulation.run()
+        # Double-start must not double the workload.
+        expected_rate = FAST.publish_rate * FAST.n_dispatchers * FAST.sim_time
+        assert result.events_published == pytest.approx(expected_rate, rel=0.25)
+
+    def test_wall_clock_accumulates(self):
+        simulation = Simulation(FAST)
+        simulation.run(until=1.0)
+        first = simulation.collect_result().wall_clock_seconds
+        simulation.run(until=3.0)
+        second = simulation.collect_result().wall_clock_seconds
+        assert second >= first

@@ -1,0 +1,73 @@
+"""Tests for multi-seed replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.replication import run_replications, summarize
+
+FAST = SimulationConfig(
+    n_dispatchers=12,
+    n_patterns=10,
+    publish_rate=10.0,
+    sim_time=2.5,
+    measure_start=0.3,
+    measure_end=1.5,
+    buffer_size=100,
+    error_rate=0.1,
+    algorithm="none",
+)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize("m", [1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.replications == 3
+        assert summary.coefficient_of_variation == pytest.approx(0.5)
+
+    def test_single_value(self):
+        summary = summarize("m", [4.0])
+        assert summary.std == 0.0
+        assert summary.confidence_halfwidth() == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize("m", [])
+
+    def test_zero_mean_cv(self):
+        assert summarize("m", [0.0, 0.0]).coefficient_of_variation == 0.0
+
+    def test_confidence_halfwidth_shrinks_with_n(self):
+        narrow = summarize("m", [1.0, 2.0] * 8)
+        wide = summarize("m", [1.0, 2.0])
+        assert narrow.confidence_halfwidth() < wide.confidence_halfwidth()
+
+
+class TestRunReplications:
+    def test_each_seed_runs_once(self):
+        summary = run_replications(FAST, seeds=[1, 2, 3])
+        assert summary.replications == 3
+        assert 0.0 < summary.mean < 1.0
+
+    def test_seeds_actually_vary_the_outcome(self):
+        summary = run_replications(FAST, seeds=[1, 2, 3, 4])
+        assert summary.maximum > summary.minimum
+
+    def test_custom_metric(self):
+        summary = run_replications(
+            FAST,
+            seeds=[1, 2],
+            metric=lambda run: float(run.events_published),
+            metric_name="events",
+        )
+        assert summary.metric == "events"
+        assert summary.mean > 50
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_replications(FAST, seeds=[])

@@ -1,0 +1,69 @@
+"""Stress/property tests for the engine under churn: random interleavings
+of scheduling, cancellation, and nested scheduling from callbacks."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestEngineChurn:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(), operations=st.integers(min_value=1, max_value=300))
+    def test_random_schedule_cancel_interleavings(self, seed, operations):
+        rng = random.Random(seed)
+        sim = Simulator()
+        fired = []
+        handles = []
+        for index in range(operations):
+            roll = rng.random()
+            if roll < 0.6 or not handles:
+                handle = sim.schedule(rng.random() * 10, fired.append, index)
+                handles.append((index, handle))
+            else:
+                _, handle = handles.pop(rng.randrange(len(handles)))
+                handle.cancel()
+        cancelled_late = set()
+        # Cancel a few more mid-run via scheduled cancellations.
+        for _ in range(min(5, len(handles))):
+            index, handle = handles.pop(rng.randrange(len(handles)))
+            sim.schedule(0.0, handle.cancel)  # fires first (t=0)
+            cancelled_late.add(index)
+        sim.run()
+        assert cancelled_late.isdisjoint(fired)
+        expected = {index for index, _ in handles}
+        assert set(fired) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(), depth=st.integers(min_value=1, max_value=30))
+    def test_cascading_callbacks_preserve_order(self, seed, depth):
+        rng = random.Random(seed)
+        sim = Simulator()
+        order = []
+
+        def spawn(level):
+            order.append((sim.now, level))
+            if level < depth:
+                sim.schedule(rng.random() + 0.01, spawn, level + 1)
+
+        sim.schedule(0.0, spawn, 0)
+        sim.run()
+        times = [t for t, _ in order]
+        assert times == sorted(times)
+        assert [level for _, level in order] == list(range(depth + 1))
+
+    def test_many_events_complete(self):
+        sim = Simulator()
+        count = [0]
+
+        def bump():
+            count[0] += 1
+
+        for i in range(50_000):
+            sim.schedule((i % 997) * 1e-4, bump)
+        sim.run()
+        assert count[0] == 50_000
+        assert sim.events_processed == 50_000

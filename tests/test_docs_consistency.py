@@ -1,0 +1,70 @@
+"""Documentation-vs-code consistency checks.
+
+DESIGN.md and docs/ promise specific defaults and behaviours; these tests
+keep the prose honest when the code moves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.network.message import DEFAULT_MESSAGE_SIZE_BITS
+from repro.recovery import ALGORITHMS, PAPER_ALGORITHMS
+from repro.scenarios.config import SimulationConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DESIGN = (REPO_ROOT / "DESIGN.md").read_text()
+README = (REPO_ROOT / "README.md").read_text()
+EXPERIMENTS = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+
+
+class TestDesignPromises:
+    def test_p_forward_default_documented(self):
+        config = SimulationConfig()
+        assert f"default **{config.p_forward}**" in DESIGN
+
+    def test_digest_limit_documented(self):
+        config = SimulationConfig()
+        assert f"**{config.digest_limit} entries**" in DESIGN
+
+    def test_message_size_documented(self):
+        bytes_default = DEFAULT_MESSAGE_SIZE_BITS // 8
+        assert f"{bytes_default} B" in DESIGN
+
+    def test_every_paper_algorithm_named_in_design(self):
+        for name in PAPER_ALGORITHMS:
+            module = ALGORITHMS[name].__module__.rsplit(".", 1)[-1]
+            assert f"recovery/{module}.py" in DESIGN.replace("`", ""), name
+
+    def test_figure2_defaults_stated(self):
+        for fragment in ("N = 100", "πmax = 2", "β = 1500", "T = 0.03"):
+            assert fragment in DESIGN or fragment.replace(" ", "") in DESIGN
+
+
+class TestReadmePromises:
+    def test_headline_table_matches_algorithm_names(self):
+        for name in ("subscriber-based pull", "publisher-based pull",
+                     "combined pull", "push", "random pull"):
+            assert name in README
+
+    def test_install_commands_present(self):
+        assert "pip install -e ." in README
+        assert "pytest tests/" in README
+        assert "pytest benchmarks/ --benchmark-only" in README
+
+
+class TestExperimentsPromises:
+    def test_every_figure_bench_referenced(self):
+        benches = sorted(
+            p.name for p in (REPO_ROOT / "benchmarks").glob("test_fig*.py")
+        )
+        for bench in benches:
+            assert bench in EXPERIMENTS, bench
+
+    def test_every_ablation_bench_referenced(self):
+        for path in sorted((REPO_ROOT / "benchmarks").glob("test_ablation_*.py")):
+            assert path.name in EXPERIMENTS, path.name
+
+    def test_scale_disclosure_present(self):
+        assert "bench scale" in EXPERIMENTS
+        assert "REPRO_PAPER_SCALE" in EXPERIMENTS

@@ -1,0 +1,134 @@
+"""Tests for tree builders (degree caps, shapes, determinism)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.generator import (
+    MAX_DEGREE_DEFAULT,
+    balanced_tree,
+    build_tree,
+    bushy_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+from repro.topology.tree import TreeError, is_tree
+
+
+class TestRandomTree:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=150),
+        seed=st.integers(),
+        max_degree=st.integers(min_value=2, max_value=6),
+    )
+    def test_is_valid_tree_under_degree_cap(self, n, seed, max_degree):
+        tree = random_tree(n, random.Random(seed), max_degree=max_degree)
+        assert is_tree(n, tree.edges)
+        assert tree.max_degree() <= max_degree or n == 1
+
+    def test_deterministic_for_seed(self):
+        a = random_tree(40, random.Random(9))
+        b = random_tree(40, random.Random(9))
+        assert a.edges == b.edges
+
+    def test_different_seeds_differ(self):
+        a = random_tree(40, random.Random(1))
+        b = random_tree(40, random.Random(2))
+        assert a.edges != b.edges
+
+    def test_degree_cap_two_gives_path(self):
+        tree = random_tree(20, random.Random(3), max_degree=2)
+        degrees = sorted(tree.degree(n) for n in tree.nodes())
+        assert degrees == [1, 1] + [2] * 18
+
+    def test_impossible_cap_rejected(self):
+        with pytest.raises(TreeError):
+            random_tree(5, random.Random(0), max_degree=1)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(TreeError):
+            random_tree(0, random.Random(0))
+
+
+class TestBushyTree:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        seed=st.integers(),
+        max_degree=st.integers(min_value=2, max_value=6),
+    )
+    def test_is_valid_tree_under_degree_cap(self, n, seed, max_degree):
+        tree = bushy_tree(n, random.Random(seed), max_degree=max_degree)
+        assert is_tree(n, tree.edges)
+        assert tree.max_degree() <= max_degree or n == 1
+
+    def test_bushy_is_shallower_than_uniform(self):
+        # The whole point of the bushy builder: shorter paths at scale.
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        bushy = bushy_tree(100, rng_a, max_degree=4)
+        uniform = random_tree(100, rng_b, max_degree=4)
+        assert bushy.average_path_length() < uniform.average_path_length()
+
+    def test_depth_close_to_complete_tree(self):
+        # 100 nodes, cap 4 (root 4 subtrees, interior 3 children):
+        # a complete fill reaches depth 4; randomized fill stays close.
+        tree = bushy_tree(100, random.Random(11), max_degree=4)
+        assert tree.eccentricity(0) <= 5
+
+    def test_paper_baseline_band(self):
+        # E[(1-eps)^distance] over ordered pairs is the expected baseline
+        # delivery; the paper reports ~55% at eps=0.1 and ~75% at eps=0.05.
+        tree = bushy_tree(100, random.Random(2), max_degree=4)
+        pairs = 0
+        val_10 = val_05 = 0.0
+        for a in range(tree.node_count):
+            distances = tree.distances_from(a)
+            for b, d in distances.items():
+                if a == b:
+                    continue
+                pairs += 1
+                val_10 += 0.9**d
+                val_05 += 0.95**d
+        assert 0.48 < val_10 / pairs < 0.62
+        assert 0.68 < val_05 / pairs < 0.82
+
+
+class TestStructuredTrees:
+    def test_path_tree_shape(self):
+        tree = path_tree(5)
+        assert tree.diameter() == 4
+        assert tree.degree(0) == 1
+        assert tree.degree(2) == 2
+
+    def test_star_tree_shape(self):
+        tree = star_tree(6)
+        assert tree.diameter() == 2
+        assert tree.degree(0) == 5
+
+    def test_balanced_tree_shape(self):
+        tree = balanced_tree(13, branching=3)
+        assert tree.degree(0) == 3
+        assert tree.distance(0, 12) == 2
+
+    def test_balanced_tree_bad_branching(self):
+        with pytest.raises(TreeError):
+            balanced_tree(5, branching=0)
+
+
+class TestBuildTree:
+    @pytest.mark.parametrize("style", ["bushy", "uniform", "path", "star", "balanced"])
+    def test_all_styles_produce_trees(self, style):
+        tree = build_tree(style, 10, random.Random(0), max_degree=4)
+        assert is_tree(10, tree.edges)
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            build_tree("mesh", 10, random.Random(0))
+
+    def test_default_cap_is_four(self):
+        assert MAX_DEGREE_DEFAULT == 4

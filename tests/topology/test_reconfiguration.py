@@ -1,0 +1,147 @@
+"""Tests for the break/repair reconfiguration engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.network import Network, NetworkConfig
+from repro.sim.engine import Simulator
+from repro.topology.generator import random_tree
+from repro.topology.reconfiguration import ReconfigurationEngine
+from repro.topology.tree import connected_components, is_tree
+
+
+class _StubNode:
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def receive(self, message, from_node):
+        pass
+
+    def receive_oob(self, message, from_node):
+        pass
+
+
+def _build_network(sim, tree, error_rate=0.0):
+    network = Network(sim, NetworkConfig(error_rate=error_rate), random.Random(0))
+    for node_id in range(tree.node_count):
+        network.add_node(_StubNode(node_id))
+    for a, b in tree.edges:
+        network.add_link(a, b)
+    return network
+
+
+def _live_adjacency(network):
+    return {n: set(network.neighbors(n)) for n in network.node_ids()}
+
+
+class TestReconfiguration:
+    def test_break_then_repair_restores_tree(self):
+        sim = Simulator()
+        tree = random_tree(20, random.Random(1))
+        network = _build_network(sim, tree)
+        changes = []
+        engine = ReconfigurationEngine(
+            sim,
+            network,
+            random.Random(2),
+            interval=1.0,
+            repair_delay=0.1,
+            on_topology_changed=lambda: changes.append(sim.now),
+        )
+        engine.start()
+        # Just after the first break the overlay is split in two.
+        sim.run(until=1.05)
+        assert len(connected_components(_live_adjacency(network))) == 2
+        # After the repair it is a tree again.
+        sim.run(until=1.2)
+        assert is_tree(20, network.edges())
+        assert engine.stats.breaks == 1
+        assert engine.stats.repairs == 1
+        assert changes == [pytest.approx(1.1)]
+
+    def test_non_overlapping_reconfigurations_keep_tree_between_breaks(self):
+        sim = Simulator()
+        tree = random_tree(30, random.Random(3))
+        network = _build_network(sim, tree)
+        engine = ReconfigurationEngine(
+            sim, network, random.Random(4), interval=0.2, repair_delay=0.1
+        )
+        engine.start()
+        # Sample halfway between a repair (at k*0.2 + 0.1) and the next
+        # break (at (k+1)*0.2): the overlay must be whole.
+        for k in range(1, 8):
+            sim.run(until=k * 0.2 + 0.15)
+            assert is_tree(30, network.edges()), f"not a tree at t={sim.now}"
+        assert engine.stats.breaks == 7
+
+    def test_overlapping_reconfigurations_eventually_reconverge(self):
+        sim = Simulator()
+        tree = random_tree(30, random.Random(5))
+        network = _build_network(sim, tree)
+        engine = ReconfigurationEngine(
+            sim, network, random.Random(6), interval=0.03, repair_delay=0.1
+        )
+        engine.start()
+        sim.run(until=3.0)
+        engine.stop()
+        sim.run(until=3.5)  # let in-flight repairs complete
+        assert is_tree(30, network.edges())
+        assert engine.stats.breaks > 50
+        assert engine.stats.repairs + engine.stats.skipped_repairs == engine.stats.breaks
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=40),
+        seed=st.integers(),
+        interval=st.floats(min_value=0.02, max_value=0.5),
+    )
+    def test_degree_cap_respected_through_churn(self, n, seed, interval):
+        sim = Simulator()
+        rng = random.Random(seed)
+        tree = random_tree(n, rng, max_degree=4)
+        network = _build_network(sim, tree)
+        engine = ReconfigurationEngine(
+            sim, network, rng, interval=interval, repair_delay=0.1, max_degree=4
+        )
+        engine.start()
+        sim.run(until=2.0)
+        for node in network.node_ids():
+            assert network.degree(node) <= 4
+
+    def test_node_count_preserved(self):
+        sim = Simulator()
+        tree = random_tree(15, random.Random(7))
+        network = _build_network(sim, tree)
+        engine = ReconfigurationEngine(
+            sim, network, random.Random(8), interval=0.1, repair_delay=0.05
+        )
+        engine.start()
+        sim.run(until=2.0)
+        engine.stop()
+        sim.run(until=2.2)
+        assert network.node_count == 15
+        assert network.link_count == 14
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        tree = random_tree(5, random.Random(0))
+        network = _build_network(sim, tree)
+        with pytest.raises(ValueError):
+            ReconfigurationEngine(sim, network, random.Random(0), interval=0.0)
+        with pytest.raises(ValueError):
+            ReconfigurationEngine(
+                sim, network, random.Random(0), interval=1.0, repair_delay=-1.0
+            )
+
+    def test_single_node_network_is_a_noop(self):
+        sim = Simulator()
+        network = Network(sim, NetworkConfig(), random.Random(0))
+        network.add_node(_StubNode(0))
+        engine = ReconfigurationEngine(sim, network, random.Random(0), interval=0.5)
+        engine.start()
+        sim.run(until=2.0)
+        assert engine.stats.breaks == 0

@@ -1,0 +1,39 @@
+"""``repro.lint`` — AST-based determinism & protocol-invariant linter.
+
+The paper's evaluation stands on bit-identical seeded re-runs: every curve
+in Figs. 3–10 must replay exactly from a master seed.  This package enforces
+the coding rules that make that true, statically:
+
+========  =======================================================
+REP001    randomness outside injected ``random.Random`` streams
+REP002    wall-clock reads (``time.time``, ``datetime.now``, ...)
+REP003    iteration over unordered sets / bare ``dict.popitem()``
+REP004    ``id()``-derived ordering or hashing
+REP005    negative delays or scheduling outside ``Simulator``
+REP006    mutable default arguments
+========  =======================================================
+
+Run it with ``python -m repro.lint <paths>`` or the ``repro-lint`` console
+script; see ``docs/LINTING.md`` for the full rule rationale and the
+suppression / configuration syntax.
+"""
+
+from __future__ import annotations
+
+from .cli import LintResult, lint_paths, main
+from .config import LintConfig, PerPath, load_config
+from .findings import Finding, LintError
+from .rules import RULES, all_codes
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintError",
+    "LintResult",
+    "PerPath",
+    "RULES",
+    "all_codes",
+    "lint_paths",
+    "load_config",
+    "main",
+]

@@ -1,0 +1,119 @@
+"""Configuration: the ``[tool.repro-lint]`` block of ``pyproject.toml``.
+
+Recognised keys::
+
+    [tool.repro-lint]
+    exclude = ["tests/lint/fixtures"]      # glob patterns or dir prefixes
+    select  = ["REP001", "REP002"]         # only these rules (default: all)
+    ignore  = ["REP006"]                   # drop these rules everywhere
+
+    [[tool.repro-lint.per-path]]           # ordered, later entries win
+    path = "src/repro/sim/rng.py"          # fnmatch pattern vs. posix rel path
+    disable = ["REP001"]
+    # enable = [...] re-enables codes a broader entry (or `ignore`) removed
+
+Paths in patterns are matched against the file's path relative to the
+directory containing ``pyproject.toml`` (the *config root*), in POSIX form.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Set, Tuple
+
+__all__ = ["LintConfig", "PerPath", "load_config", "find_pyproject"]
+
+
+@dataclass(frozen=True)
+class PerPath:
+    """One per-path override: disable/enable rule codes under a pattern."""
+
+    pattern: str
+    disable: Tuple[str, ...] = ()
+    enable: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved linter configuration."""
+
+    root: Path = field(default_factory=Path.cwd)
+    exclude: Tuple[str, ...] = ()
+    select: Tuple[str, ...] = ()
+    ignore: Tuple[str, ...] = ()
+    per_path: Tuple[PerPath, ...] = ()
+
+    def rel_path(self, path: Path) -> str:
+        """``path`` relative to the config root, in POSIX form."""
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def is_excluded(self, rel: str) -> bool:
+        for pattern in self.exclude:
+            clean = pattern.rstrip("/")
+            if (
+                fnmatch.fnmatch(rel, clean)
+                or fnmatch.fnmatch(rel, clean + "/*")
+                or rel.startswith(clean + "/")
+            ):
+                return True
+        return False
+
+    def enabled_codes(self, rel: str, all_codes: Iterable[str]) -> Set[str]:
+        """The rule codes in force for the file at ``rel``."""
+        codes = set(self.select) if self.select else set(all_codes)
+        codes -= set(self.ignore)
+        for entry in self.per_path:
+            if fnmatch.fnmatch(rel, entry.pattern):
+                codes -= set(entry.disable)
+                codes |= set(entry.enable)
+        return codes
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` looking for a ``pyproject.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(pyproject: Path) -> LintConfig:
+    """Parse ``[tool.repro-lint]`` out of ``pyproject`` (missing block ok)."""
+    with open(pyproject, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("repro-lint", {})
+    per_path = tuple(
+        PerPath(
+            pattern=str(entry["path"]),
+            disable=tuple(entry.get("disable", ())),
+            enable=tuple(entry.get("enable", ())),
+        )
+        for entry in table.get("per-path", ())
+    )
+    return LintConfig(
+        root=pyproject.parent,
+        exclude=tuple(table.get("exclude", ())),
+        select=tuple(table.get("select", ())),
+        ignore=tuple(table.get("ignore", ())),
+        per_path=per_path,
+    )
+
+
+def config_for_paths(paths: Sequence[Path]) -> LintConfig:
+    """Locate and load the config governing ``paths`` (first hit wins)."""
+    for path in paths:
+        pyproject = find_pyproject(path)
+        if pyproject is not None:
+            return load_config(pyproject)
+    return LintConfig()

@@ -1,0 +1,51 @@
+"""Finding and error records produced by the linter.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`LintError` is a file the linter could not analyse at all (unreadable,
+or not valid Python).  Both are plain data, ready for text or JSON rendering
+by :mod:`repro.lint.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Finding", "LintError"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True, order=True)
+class LintError:
+    """A file that could not be linted (I/O or syntax error)."""
+
+    path: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "message": self.message}
+
+    def render(self) -> str:
+        return f"{self.path}: error: {self.message}"

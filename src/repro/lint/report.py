@@ -1,0 +1,41 @@
+"""Rendering lint results as human text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List
+
+from .findings import Finding, LintError
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: List[Finding], errors: List[LintError], files: int) -> str:
+    """The classic ``path:line:col: CODE message`` listing plus a summary."""
+    lines = [error.render() for error in errors]
+    lines.extend(finding.render() for finding in findings)
+    if findings or errors:
+        by_code = Counter(finding.code for finding in findings)
+        breakdown = ", ".join(f"{code}×{n}" for code, n in sorted(by_code.items()))
+        summary = f"{len(findings)} finding(s) in {files} file(s)"
+        if breakdown:
+            summary += f" [{breakdown}]"
+        if errors:
+            summary += f"; {len(errors)} file(s) could not be linted"
+        lines.append(summary)
+    else:
+        lines.append(f"{files} file(s) clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], errors: List[LintError], files: int) -> str:
+    """Stable JSON for CI and tooling: findings, errors, per-code counts."""
+    payload = {
+        "version": 1,
+        "files_checked": files,
+        "findings": [finding.to_dict() for finding in findings],
+        "errors": [error.to_dict() for error in errors],
+        "counts": dict(sorted(Counter(f.code for f in findings).items())),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,83 @@
+"""Inline suppression comments.
+
+Two forms are recognised, both anchored on a ``repro-lint:`` marker inside a
+comment:
+
+* ``# repro-lint: disable=REP003`` — suppress the listed codes (comma
+  separated) on the physical line carrying the comment.
+* ``# repro-lint: disable-file=REP002`` — suppress the listed codes for the
+  whole file.  May appear on any line, conventionally in the module header.
+
+Omitting the ``=CODES`` part (``# repro-lint: disable``) suppresses every
+rule.  Suppressions are parsed from the token stream, so a ``repro-lint:``
+marker inside a string literal is ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+__all__ = ["SuppressionMap", "parse_suppressions"]
+
+_ALL = "*"
+_MARKER = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*(?:=\s*(?P<codes>[A-Z0-9_,\s]+))?"
+)
+
+
+class SuppressionMap:
+    """Line- and file-level suppressions for one source file."""
+
+    def __init__(self) -> None:
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_level: Set[str] = set()
+
+    def add_line(self, line: int, codes: Set[str]) -> None:
+        self.by_line.setdefault(line, set()).update(codes)
+
+    def add_file(self, codes: Set[str]) -> None:
+        self.file_level.update(codes)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if _ALL in self.file_level or code in self.file_level:
+            return True
+        codes = self.by_line.get(line)
+        if codes is None:
+            return False
+        return _ALL in codes or code in codes
+
+
+def _parse_codes(raw: "str | None") -> Set[str]:
+    if raw is None:
+        return {_ALL}
+    codes = {part.strip() for part in raw.split(",") if part.strip()}
+    return codes or {_ALL}
+
+
+def parse_suppressions(source: str) -> SuppressionMap:
+    """Extract suppression directives from ``source``.
+
+    Tokenisation errors are swallowed: a file that does not tokenise will
+    already be reported as a syntax error by the walker, and a best-effort
+    (possibly empty) map is fine for it.
+    """
+    suppressions = SuppressionMap()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _MARKER.search(token.string)
+            if match is None:
+                continue
+            codes = _parse_codes(match.group("codes"))
+            if match.group("kind") == "disable-file":
+                suppressions.add_file(codes)
+            else:
+                suppressions.add_line(token.start[0], codes)
+    except tokenize.TokenError:
+        pass
+    return suppressions

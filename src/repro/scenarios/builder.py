@@ -186,9 +186,11 @@ class Simulation:
         summarize.  Can be called repeatedly with growing horizons."""
         horizon = self.config.sim_time if until is None else until
         self.start()
-        wall_start = time.perf_counter()
+        # Wall-clock accounting feeds RunResult.wall_seconds for reporting
+        # only; it never influences the event schedule or any random draw.
+        wall_start = time.perf_counter()  # repro-lint: disable=REP002
         self.sim.run(until=horizon)
-        self._wall_seconds += time.perf_counter() - wall_start
+        self._wall_seconds += time.perf_counter() - wall_start  # repro-lint: disable=REP002
         return self.collect_result()
 
     # ------------------------------------------------------------------

@@ -13,6 +13,11 @@ from a single master seed, so that:
 * the same master seed and name always yield the same stream, and
 * streams with different names are statistically independent, regardless of
   the order or the number of draws made from each.
+
+This module is the *only* sanctioned home of the ``random`` module: everything
+else must take an injected ``random.Random``.  The ``repro.lint`` static pass
+(rule REP001 — see ``docs/LINTING.md``) enforces that policy tree-wide, and
+``pyproject.toml`` grants this one file its exemption.
 """
 
 from __future__ import annotations

@@ -1,0 +1,21 @@
+"""BAD: module-level random calls, aliased imports, and SystemRandom."""
+
+import random
+import random as rnd
+from random import choice as pick
+
+
+def jitter():
+    return random.random() * 0.5
+
+
+def fanout(nodes):
+    return rnd.sample(nodes, 2)
+
+
+def pick_peer(nodes):
+    return pick(nodes)
+
+
+def entropy():
+    return random.SystemRandom()

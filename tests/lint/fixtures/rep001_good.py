@@ -1,0 +1,15 @@
+"""GOOD: randomness flows through an injected ``random.Random``."""
+
+import random
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random() * 0.5
+
+
+def fanout(rng: random.Random, nodes):
+    return rng.sample(nodes, 2)
+
+
+def make_stream(seed: int) -> random.Random:
+    return random.Random(seed)

@@ -1,0 +1,17 @@
+"""BAD: wall-clock reads in simulation logic."""
+
+import time
+from datetime import datetime
+from time import perf_counter as clock
+
+
+def timestamp():
+    return time.time()
+
+
+def created_at():
+    return datetime.now()
+
+
+def elapsed(start):
+    return clock() - start

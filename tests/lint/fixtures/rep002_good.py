@@ -1,0 +1,9 @@
+"""GOOD: simulation time comes from the engine's clock."""
+
+
+def timestamp(sim):
+    return sim.now
+
+
+def elapsed(sim, start):
+    return sim.now - start

@@ -1,0 +1,19 @@
+"""BAD: iteration order left to the set implementation."""
+
+
+def deliver_all(subscribers, event):
+    for node in {s for s in subscribers}:
+        node.deliver(event)
+
+
+def gossip_targets(peers):
+    return [p.node_id for p in set(peers)]
+
+
+def merge_views(view_a, view_b):
+    for node in view_a.union(view_b):
+        node.refresh()
+
+
+def evict_one(buffer):
+    return buffer.popitem()

@@ -1,0 +1,14 @@
+"""GOOD: unordered containers are sorted before iteration."""
+
+
+def deliver_all(subscribers, event):
+    for node in sorted(set(subscribers), key=lambda s: s.node_id):
+        node.deliver(event)
+
+
+def gossip_targets(peers):
+    return [p.node_id for p in sorted(peers, key=lambda p: p.node_id)]
+
+
+def evict_oldest(buffer):
+    return buffer.popitem(last=False)

@@ -1,0 +1,9 @@
+"""BAD: memory addresses smuggled into ordering and hashing."""
+
+
+def stable_order(nodes):
+    return sorted(nodes, key=lambda n: id(n))
+
+
+def register(table, message):
+    table[id(message)] = message

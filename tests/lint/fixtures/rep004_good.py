@@ -1,0 +1,9 @@
+"""GOOD: ordering and hashing use stable protocol identifiers."""
+
+
+def stable_order(nodes):
+    return sorted(nodes, key=lambda n: n.node_id)
+
+
+def register(table, message):
+    table[message.event_id] = message

@@ -1,0 +1,33 @@
+"""BAD: negative delays and scheduling that bypasses the engine."""
+
+import asyncio
+import threading
+import time
+
+
+def rewind(sim, callback):
+    sim.schedule(-1.0, callback)
+
+
+def rewind_abs(sim, callback):
+    sim.schedule_at(-0.5, callback)
+
+
+def rewind_kw(sim, callback):
+    sim.schedule(callback=callback, delay=-2)
+
+
+def nap():
+    time.sleep(0.1)
+
+
+def fire_later(callback):
+    threading.Timer(1.0, callback).start()
+
+
+def loop_later(loop, callback):
+    loop.call_later(0.5, callback)
+
+
+async def drift():
+    await asyncio.sleep(1.0)

@@ -1,0 +1,13 @@
+"""GOOD: events go through the engine with non-negative delays."""
+
+
+def forward(sim, callback):
+    sim.schedule(0.5, callback)
+
+
+def at_horizon(sim, callback, horizon):
+    sim.schedule_at(horizon, callback)
+
+
+def relative(sim, callback, delay):
+    sim.schedule(delay, callback)

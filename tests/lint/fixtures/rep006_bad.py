@@ -1,0 +1,17 @@
+"""BAD: mutable defaults shared across every call."""
+
+from collections import deque
+
+
+class Dispatcher:
+    def __init__(self, buffer=[], routes={}):
+        self.buffer = buffer
+        self.routes = routes
+
+    def flush(self, *, drained=set()):
+        drained.update(self.buffer)
+        return drained
+
+
+def replay(history=deque()):
+    return list(history)

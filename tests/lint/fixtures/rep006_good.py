@@ -1,0 +1,16 @@
+"""GOOD: defaults are None (or immutable) and built per call."""
+
+
+class Dispatcher:
+    def __init__(self, buffer=None, routes=None):
+        self.buffer = [] if buffer is None else buffer
+        self.routes = {} if routes is None else routes
+
+    def flush(self, *, drained=None):
+        result = set() if drained is None else drained
+        result.update(self.buffer)
+        return result
+
+
+def replay(history=(), limit=10):
+    return list(history)[:limit]

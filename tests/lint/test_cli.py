@@ -1,0 +1,97 @@
+"""CLI behaviour: exit codes, formats, select/ignore, error handling."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.lint import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert main(["--isolated", str(FIXTURES / "rep001_good.py")]) == 0
+        assert "1 file(s) clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["--isolated", str(FIXTURES / "rep001_bad.py")]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_bad_fixture_directory_exits_nonzero(self):
+        assert main(["--isolated", str(FIXTURES)]) == 1
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["--isolated", str(FIXTURES / "no_such.py")]) == 2
+        assert "no such file" in capsys.readouterr().out
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def oops(:\n")
+        assert main(["--isolated", str(target)]) == 2
+        assert "syntax error" in capsys.readouterr().out
+
+    def test_no_paths_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_unknown_rule_code_is_a_usage_error(self, capsys):
+        """A typo'd --select must not silently disable every rule."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--select=REP999", str(FIXTURES)])
+        assert excinfo.value.code == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_json_format_is_machine_readable(self, capsys):
+        exit_code = main(
+            ["--isolated", "--format=json", str(FIXTURES / "rep003_bad.py")]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["counts"].get("REP003", 0) >= 1
+        finding = payload["findings"][0]
+        assert set(finding) == {"path", "line", "col", "code", "message"}
+
+    def test_text_format_has_location_prefix(self, capsys):
+        main(["--isolated", str(FIXTURES / "rep004_bad.py")])
+        out = capsys.readouterr().out
+        assert "rep004_bad.py:" in out
+        assert ": REP004 " in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert code in out
+
+
+class TestSelection:
+    def test_select_narrows_to_one_rule(self, capsys):
+        main(["--isolated", "--format=json", "--select=REP001", str(FIXTURES)])
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["counts"]) == {"REP001"}
+
+    def test_ignore_drops_a_rule(self, capsys):
+        main(["--isolated", "--format=json", "--ignore=REP001", str(FIXTURES)])
+        payload = json.loads(capsys.readouterr().out)
+        assert "REP001" not in payload["counts"]
+        assert payload["counts"]
+
+    def test_explicit_config_file(self, capsys):
+        exit_code = main(
+            [
+                "--config",
+                str(REPO_ROOT / "pyproject.toml"),
+                str(REPO_ROOT / "src" / "repro" / "sim" / "rng.py"),
+            ]
+        )
+        assert exit_code == 0

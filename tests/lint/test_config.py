@@ -1,0 +1,121 @@
+"""``[tool.repro-lint]`` parsing, per-path selection, and excludes."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_paths, load_config
+from repro.lint.config import LintConfig, PerPath
+
+BAD_RANDOM = "import random\n\n\ndef f():\n    return random.random()\n"
+
+
+def write_project(tmp_path, toml_body: str):
+    (tmp_path / "pyproject.toml").write_text(textwrap.dedent(toml_body))
+    return tmp_path / "pyproject.toml"
+
+
+class TestParsing:
+    def test_missing_block_yields_defaults(self, tmp_path):
+        pyproject = write_project(tmp_path, "[project]\nname = 'x'\n")
+        config = load_config(pyproject)
+        assert config.root == tmp_path
+        assert config.exclude == ()
+        assert config.per_path == ()
+
+    def test_full_block_round_trips(self, tmp_path):
+        pyproject = write_project(
+            tmp_path,
+            """
+            [tool.repro-lint]
+            exclude = ["vendored"]
+            select = ["REP001", "REP003"]
+            ignore = ["REP003"]
+
+            [[tool.repro-lint.per-path]]
+            path = "legacy/*"
+            disable = ["REP001"]
+            enable = ["REP003"]
+            """,
+        )
+        config = load_config(pyproject)
+        assert config.exclude == ("vendored",)
+        assert config.select == ("REP001", "REP003")
+        assert config.ignore == ("REP003",)
+        assert config.per_path == (
+            PerPath(pattern="legacy/*", disable=("REP001",), enable=("REP003",)),
+        )
+
+
+class TestEnabledCodes:
+    ALL = ("REP001", "REP002", "REP003")
+
+    def test_select_then_ignore_then_per_path(self, tmp_path):
+        pyproject = write_project(
+            tmp_path,
+            """
+            [tool.repro-lint]
+            ignore = ["REP002"]
+
+            [[tool.repro-lint.per-path]]
+            path = "legacy/*"
+            disable = ["REP001"]
+            enable = ["REP002"]
+            """,
+        )
+        config = load_config(pyproject)
+        assert config.enabled_codes("src/a.py", self.ALL) == {"REP001", "REP003"}
+        assert config.enabled_codes("legacy/a.py", self.ALL) == {"REP002", "REP003"}
+
+    def test_exclude_matches_dirs_and_globs(self):
+        config = LintConfig(exclude=("vendored", "*_pb2.py"))
+        assert config.is_excluded("vendored/x.py")
+        assert config.is_excluded("proto_pb2.py")
+        assert not config.is_excluded("src/a.py")
+
+
+class TestEndToEnd:
+    def test_per_path_disable_silences_file(self, tmp_path):
+        write_project(
+            tmp_path,
+            """
+            [tool.repro-lint]
+
+            [[tool.repro-lint.per-path]]
+            path = "allowed/*"
+            disable = ["REP001"]
+            """,
+        )
+        (tmp_path / "allowed").mkdir()
+        (tmp_path / "flagged").mkdir()
+        (tmp_path / "allowed" / "a.py").write_text(BAD_RANDOM)
+        (tmp_path / "flagged" / "b.py").write_text(BAD_RANDOM)
+        result = lint_paths([tmp_path])
+        assert [f.path for f in result.findings] == ["flagged/b.py"]
+
+    def test_excluded_files_not_even_parsed(self, tmp_path):
+        write_project(
+            tmp_path,
+            """
+            [tool.repro-lint]
+            exclude = ["junk"]
+            """,
+        )
+        (tmp_path / "junk").mkdir()
+        (tmp_path / "junk" / "broken.py").write_text("def oops(:\n")
+        result = lint_paths([tmp_path])
+        assert result.errors == []
+        assert result.files_checked == 0
+
+    def test_isolated_ignores_pyproject(self, tmp_path):
+        write_project(
+            tmp_path,
+            """
+            [tool.repro-lint]
+            ignore = ["REP001"]
+            """,
+        )
+        (tmp_path / "a.py").write_text(BAD_RANDOM)
+        assert lint_paths([tmp_path / "a.py"]).findings == []
+        isolated = lint_paths([tmp_path / "a.py"], isolated=True)
+        assert [f.code for f in isolated.findings] == ["REP001"]

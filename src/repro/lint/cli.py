@@ -34,10 +34,12 @@ class LintResult:
         findings: List[Finding],
         errors: List[LintError],
         files_checked: int,
+        warnings: Optional[List[str]] = None,
     ) -> None:
         self.findings = findings
         self.errors = errors
         self.files_checked = files_checked
+        self.warnings = warnings if warnings is not None else []
 
     @property
     def exit_code(self) -> int:
@@ -46,12 +48,18 @@ class LintResult:
         return 1 if self.findings else 0
 
 
-def _collect_files(paths: Sequence[Path], config: LintConfig) -> List[Path]:
+def _collect_files(
+    paths: Sequence[Path], config: LintConfig
+) -> Tuple[List[Path], List[str]]:
     files: List[Path] = []
+    warnings: List[str] = []
     seen: Set[Path] = set()
     for path in paths:
         if path.is_dir():
             candidates = sorted(path.rglob("*.py"))
+        elif path.suffix != ".py":
+            warnings.append(f"{path}: skipped (not a Python file)")
+            continue
         else:
             candidates = [path]
         for candidate in candidates:
@@ -62,7 +70,7 @@ def _collect_files(paths: Sequence[Path], config: LintConfig) -> List[Path]:
             if config.is_excluded(config.rel_path(candidate)):
                 continue
             files.append(candidate)
-    return files
+    return files, warnings
 
 
 def lint_paths(
@@ -82,18 +90,18 @@ def lint_paths(
     if config is None:
         config = LintConfig() if isolated else config_for_paths(paths)
 
-    missing = [p for p in paths if not p.exists()]
-    if missing:
-        errors = [
-            LintError(path=str(p), message="no such file or directory")
-            for p in missing
-        ]
-        return LintResult([], errors, 0)
+    # A missing path is an error, but it must not hide findings from the
+    # paths that do exist: lint those and aggregate both.
+    errors: List[LintError] = [
+        LintError(path=str(p), message="no such file or directory")
+        for p in paths
+        if not p.exists()
+    ]
+    paths = [p for p in paths if p.exists()]
 
     codes = all_codes()
     findings: List[Finding] = []
-    errors: List[LintError] = []
-    files = _collect_files(paths, config)
+    files, warnings = _collect_files(paths, config)
     for path in files:
         rel = config.rel_path(path)
         enabled = config.enabled_codes(rel, codes)
@@ -106,7 +114,7 @@ def lint_paths(
             errors.append(error)
     findings.sort()
     errors.sort()
-    return LintResult(findings, errors, len(files))
+    return LintResult(findings, errors, len(files), warnings)
 
 
 def _parse_codes(raw: Optional[str]) -> Tuple[str, ...]:
@@ -180,20 +188,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
 
     config: Optional[LintConfig] = None
-    if args.config:
-        config_path = Path(args.config)
-        if not config_path.is_file():
-            print(f"error: config file not found: {config_path}", file=sys.stderr)
-            return 2
-        config = load_config(config_path)
+    try:
+        if args.config:
+            config_path = Path(args.config)
+            if not config_path.is_file():
+                print(
+                    f"error: config file not found: {config_path}", file=sys.stderr
+                )
+                return 2
+            config = load_config(config_path)
 
-    result = lint_paths(
-        [Path(p) for p in args.paths],
-        config,
-        isolated=args.isolated,
-        select=select,
-        ignore=ignore,
-    )
+        result = lint_paths(
+            [Path(p) for p in args.paths],
+            config,
+            isolated=args.isolated,
+            select=select,
+            ignore=ignore,
+        )
+    except RuntimeError as exc:  # no TOML parser on this interpreter
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    for warning in result.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
 
     if args.format == "json":
         print(render_json(result.findings, result.errors, result.files_checked))

@@ -14,12 +14,24 @@ Recognised keys::
 
 Paths in patterns are matched against the file's path relative to the
 directory containing ``pyproject.toml`` (the *config root*), in POSIX form.
+A file *outside* the config root has no such relative form and is matched
+by its absolute POSIX path instead — root-relative patterns like
+``tests/lint/fixtures`` will not apply to it (basename-style globs such as
+``*_pb2.py`` still do, since ``*`` matches across ``/``).
 """
 
 from __future__ import annotations
 
 import fnmatch
-import tomllib
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python < 3.11
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        tomllib = None  # type: ignore[assignment]
+
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Set, Tuple
@@ -47,7 +59,12 @@ class LintConfig:
     per_path: Tuple[PerPath, ...] = ()
 
     def rel_path(self, path: Path) -> str:
-        """``path`` relative to the config root, in POSIX form."""
+        """``path`` relative to the config root, in POSIX form.
+
+        Files outside the root fall back to their absolute POSIX path, so
+        root-relative ``exclude``/``per-path`` patterns never match them;
+        only basename-style globs (``*_pb2.py``) do.
+        """
         resolved = path.resolve()
         try:
             return resolved.relative_to(self.root.resolve()).as_posix()
@@ -90,6 +107,12 @@ def find_pyproject(start: Path) -> Optional[Path]:
 
 def load_config(pyproject: Path) -> LintConfig:
     """Parse ``[tool.repro-lint]`` out of ``pyproject`` (missing block ok)."""
+    if tomllib is None:
+        raise RuntimeError(
+            f"cannot read {pyproject}: tomllib needs Python 3.11+ "
+            "(or the tomli backport on 3.10); install tomli or run "
+            "with --isolated"
+        )
     with open(pyproject, "rb") as handle:
         data = tomllib.load(handle)
     table = data.get("tool", {}).get("repro-lint", {})

@@ -4,7 +4,9 @@ Two forms are recognised, both anchored on a ``repro-lint:`` marker inside a
 comment:
 
 * ``# repro-lint: disable=REP003`` — suppress the listed codes (comma
-  separated) on the physical line carrying the comment.
+  separated) on the physical line carrying the comment.  A violation is
+  suppressed when the comment sits on *any* line its node spans, so the
+  directive may ride on the closing paren of a multi-line call.
 * ``# repro-lint: disable-file=REP002`` — suppress the listed codes for the
   whole file.  May appear on any line, conventionally in the module header.
 
@@ -42,12 +44,16 @@ class SuppressionMap:
         self.file_level.update(codes)
 
     def is_suppressed(self, code: str, line: int) -> bool:
+        return self.is_suppressed_span(code, line, line)
+
+    def is_suppressed_span(self, code: str, start: int, end: int) -> bool:
+        """True if ``code`` is suppressed on any line in ``start..end``."""
         if _ALL in self.file_level or code in self.file_level:
             return True
-        codes = self.by_line.get(line)
-        if codes is None:
-            return False
-        return _ALL in codes or code in codes
+        for line, codes in self.by_line.items():
+            if start <= line <= end and (_ALL in codes or code in codes):
+                return True
+        return False
 
 
 def _parse_codes(raw: "str | None") -> Set[str]:

@@ -72,11 +72,19 @@ class _Dispatcher(ast.NodeVisitor):
     def __init__(self, ctx: FileContext, rules: Iterable[Rule]) -> None:
         self.ctx = ctx
         self.rules = list(rules)
-        self.raw: List[Tuple[str, int, int, str]] = []
+        #: (code, line, col, end_line, message)
+        self.raw: List[Tuple[str, int, int, int, str]] = []
 
     def _add(self, code: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
         self.raw.append(
-            (code, getattr(node, "lineno", 0), getattr(node, "col_offset", 0), message)
+            (
+                code,
+                line,
+                getattr(node, "col_offset", 0),
+                getattr(node, "end_lineno", None) or line,
+                message,
+            )
         )
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -139,11 +147,13 @@ def lint_file(
     dispatcher = _Dispatcher(ctx, rules)
     dispatcher.visit(tree)
 
+    # A suppression comment on any line the violating node spans counts, so
+    # the directive also works on the closing paren of a multi-line call.
     suppressions = parse_suppressions(source)
     findings = [
         Finding(path=rel_path, line=line, col=col, code=code, message=message)
-        for code, line, col, message in dispatcher.raw
-        if not suppressions.is_suppressed(code, line)
+        for code, line, col, end_line, message in dispatcher.raw
+        if not suppressions.is_suppressed_span(code, line, end_line)
     ]
     findings.sort()
     return findings, None

@@ -29,6 +29,28 @@ class TestExitCodes:
         assert main(["--isolated", str(FIXTURES / "no_such.py")]) == 2
         assert "no such file" in capsys.readouterr().out
 
+    def test_missing_path_does_not_hide_findings(self, capsys):
+        """One typo'd path must not swallow findings from real paths."""
+        exit_code = main(
+            [
+                "--isolated",
+                str(FIXTURES / "no_such.py"),
+                str(FIXTURES / "rep001_bad.py"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 2
+        assert "no such file" in out
+        assert "REP001" in out
+
+    def test_non_python_file_skipped_with_warning(self, tmp_path, capsys):
+        readme = tmp_path / "README.md"
+        readme.write_text("# not python\n")
+        assert main(["--isolated", str(readme)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped (not a Python file)" in captured.err
+        assert "0 file(s) clean" in captured.out
+
     def test_syntax_error_exits_two(self, tmp_path, capsys):
         target = tmp_path / "broken.py"
         target.write_text("def oops(:\n")

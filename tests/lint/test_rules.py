@@ -72,3 +72,27 @@ class TestSuppression:
             [FIXTURES / "suppressed.py"], isolated=True, select=["REP002"]
         )
         assert result.findings == []
+
+    def test_directive_on_closing_paren_of_multiline_call(self, tmp_path):
+        """The comment may sit on any line the violating node spans."""
+        target = tmp_path / "multiline.py"
+        target.write_text(
+            "import random\n"
+            "\n"
+            "x = random.choice(\n"
+            "    [1, 2, 3],\n"
+            ")  # repro-lint: disable=REP001\n"
+        )
+        result = lint_paths([target], isolated=True)
+        assert result.findings == []
+
+    def test_directive_inside_span_does_not_leak_to_later_lines(self, tmp_path):
+        target = tmp_path / "leak.py"
+        target.write_text(
+            "import random\n"
+            "\n"
+            "x = random.choice([1])  # repro-lint: disable=REP001\n"
+            "y = random.choice([2])\n"
+        )
+        result = lint_paths([target], isolated=True)
+        assert [f.line for f in result.findings] == [4]

@@ -1,0 +1,378 @@
+"""Record a performance trajectory: ``BENCH_<date>.json`` at the repo root.
+
+Unlike the pytest-benchmark microbenches (which compare alternatives within
+one working tree), this harness produces a small, committable JSON snapshot
+of the numbers that matter across PRs:
+
+* the substrate microbenches (engine loop, event cache, subscription-table
+  matching, dispatcher forwarding);
+* one representative figure scenario (the Figure 3(a) combined-pull cell),
+  timed end to end;
+* the parallel-executor scaling of a four-algorithm sweep (skipped
+  gracefully when :mod:`repro.parallel` is not importable, so the script
+  can also record trees that predate the executor).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py                # full record
+    PYTHONPATH=src python benchmarks/record.py --quick        # CI smoke
+    PYTHONPATH=src python benchmarks/record.py --label before \
+        --output /tmp/before.json
+    PYTHONPATH=src python benchmarks/record.py --label after \
+        --baseline /tmp/before.json   # embeds before/after + speedups
+
+Every workload below is seeded and deterministic; only the wall-clock
+measurements vary between hosts.  Committed records are therefore
+comparable *within* one machine's trajectory, not across machines --
+``docs/PERFORMANCE.md`` explains how to read them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _datetime
+import json
+import os
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.pubsub.cache import EventCache
+from repro.pubsub.event import Event, EventId
+from repro.pubsub.pattern import PatternSpace
+from repro.pubsub.subscription import SubscriptionTable
+from repro.scenarios.builder import Simulation
+from repro.scenarios.config import SimulationConfig
+from repro.sim.engine import Simulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Algorithms used by the sweep-scaling section (the Figure 3(a) legend
+#: minus the idealized comparators, keeping the record fast).
+SWEEP_ALGORITHMS = ("none", "push", "subscriber-pull", "combined-pull")
+
+
+def _make_events(count: int, n_patterns: int, seed: int) -> List[Event]:
+    rng = random.Random(seed)
+    space = PatternSpace(n_patterns)
+    events = []
+    for i in range(count):
+        patterns = space.sample_event_patterns(rng)
+        events.append(
+            Event(
+                EventId(i % 16, i + 1),
+                patterns,
+                {pattern: i + 1 for pattern in patterns},
+                0.0,
+            )
+        )
+    return events
+
+
+def _time(fn: Callable[[], object], repeats: int) -> Dict[str, float]:
+    """Best-of-``repeats`` wall time of ``fn`` (plus the last return value
+    when it is numeric, as a sanity check that work actually happened)."""
+    best = None
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    record: Dict[str, float] = {"seconds": round(best, 6)}
+    if isinstance(value, (int, float)):
+        record["work"] = value
+    return record
+
+
+# ----------------------------------------------------------------------
+# Substrate microbenches
+# ----------------------------------------------------------------------
+def bench_engine_loop(quick: bool) -> Dict[str, float]:
+    count = 5_000 if quick else 50_000
+
+    def run() -> int:
+        sim = Simulator()
+
+        def noop() -> None:
+            pass
+
+        for i in range(count):
+            sim.schedule(i * 1e-6, noop)
+        sim.run()
+        return sim.events_processed
+
+    return _time(run, repeats=3)
+
+
+def bench_cache_churn(quick: bool) -> Dict[str, float]:
+    events = _make_events(1_000 if quick else 10_000, n_patterns=24, seed=11)
+
+    def churn() -> int:
+        cache = EventCache(1500)
+        for event in events:
+            cache.insert(event)
+        hits = 0
+        for event in events:
+            if cache.get(event.event_id) is not None:
+                hits += 1
+        return hits
+
+    return _time(churn, repeats=3)
+
+
+def _populated_table(seed: int = 3) -> SubscriptionTable:
+    rng = random.Random(seed)
+    table = SubscriptionTable()
+    for pattern in range(70):
+        for direction in rng.sample(range(4), rng.randint(1, 3)):
+            table.add(pattern, direction)
+    return table
+
+
+def bench_table_matching(quick: bool) -> Dict[str, float]:
+    """Matching over event contents that repeat heavily, as they do within
+    a run -- the workload the memo cache (if present) is built for."""
+    rng = random.Random(5)
+    space = PatternSpace(70)
+    distinct = [space.sample_event_patterns(rng) for _ in range(200)]
+    rounds = 5 if quick else 50
+    table = _populated_table()
+
+    def match_all() -> int:
+        total = 0
+        for _ in range(rounds):
+            for patterns in distinct:
+                total += len(table.matching_directions(patterns))
+                if table.matches_locally(patterns):
+                    total += 1
+        return total
+
+    return _time(match_all, repeats=3)
+
+
+def bench_forward_event(quick: bool) -> Dict[str, float]:
+    """Dispatcher._forward_event through a live overlay: the per-hop match
+    + sort + per-direction send that dominates event routing."""
+    config = SimulationConfig(
+        n_dispatchers=20,
+        n_patterns=35,
+        algorithm="none",
+        error_rate=0.0,
+        sim_time=2.0,
+        measure_start=0.1,
+        measure_end=1.0,
+        buffer_size=100,
+        seed=9,
+    )
+    events = _make_events(200 if quick else 2_000, n_patterns=35, seed=13)
+    count = 5 if quick else 20
+
+    def forward() -> int:
+        simulation = Simulation(config)
+        dispatcher = simulation.system.dispatchers[0]
+        for _ in range(count):
+            for event in events:
+                dispatcher._forward_event(event, None, exclude=None)
+        return simulation.sim.pending
+
+    return _time(forward, repeats=3)
+
+
+# ----------------------------------------------------------------------
+# Representative figure scenario
+# ----------------------------------------------------------------------
+def _figure_config(quick: bool) -> SimulationConfig:
+    from repro.scenarios.experiments import base_config
+
+    config = base_config().replace(algorithm="combined-pull")
+    if quick:
+        config = config.replace(
+            n_dispatchers=24,
+            sim_time=2.5,
+            measure_start=0.5,
+            measure_end=2.0,
+            buffer_size=400,
+        )
+    return config
+
+
+def bench_figure_scenario(quick: bool) -> Dict[str, float]:
+    config = _figure_config(quick)
+
+    best = None
+    result = None
+    for _ in range(2 if quick else 3):  # best-of-N: host noise dominates
+        start = time.perf_counter()
+        result = Simulation(config).run()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "seconds": round(best, 6),
+        "sim_events_processed": result.sim_events_processed,
+        "events_published": result.events_published,
+        "delivery_rate": round(result.delivery_rate, 6),
+    }
+
+
+# ----------------------------------------------------------------------
+# Parallel sweep scaling
+# ----------------------------------------------------------------------
+def _sweep_config(quick: bool) -> SimulationConfig:
+    return SimulationConfig(
+        n_dispatchers=16 if quick else 30,
+        n_patterns=24,
+        sim_time=1.5 if quick else 4.0,
+        measure_start=0.25,
+        measure_end=1.25 if quick else 3.0,
+        buffer_size=300,
+        seed=21,
+    )
+
+
+def bench_sweep_scaling(quick: bool) -> Optional[Dict[str, object]]:
+    try:
+        from repro.scenarios.sweep import sweep_algorithms
+    except ImportError:  # pragma: no cover - pre-executor trees
+        return None
+    import inspect
+
+    if "jobs" not in inspect.signature(sweep_algorithms).parameters:
+        return None  # tree predates the parallel executor
+
+    base = _sweep_config(quick)
+    record: Dict[str, object] = {"algorithms": list(SWEEP_ALGORITHMS)}
+    for jobs in (1, 4):
+        start = time.perf_counter()
+        results = sweep_algorithms(base, SWEEP_ALGORITHMS, jobs=jobs)
+        elapsed = time.perf_counter() - start
+        record[f"jobs{jobs}_seconds"] = round(elapsed, 6)
+        record[f"jobs{jobs}_delivery"] = {
+            algorithm: round(points[0].result.delivery_rate, 6)
+            for algorithm, points in results.items()
+        }
+    record["scaling"] = round(
+        record["jobs1_seconds"] / record["jobs4_seconds"], 3
+    )
+    return record
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+BENCHES = {
+    "engine_loop": bench_engine_loop,
+    "cache_churn": bench_cache_churn,
+    "table_matching": bench_table_matching,
+    "forward_event": bench_forward_event,
+    "figure_scenario": bench_figure_scenario,
+}
+
+
+def record(quick: bool, label: str) -> Dict[str, object]:
+    benches: Dict[str, object] = {}
+    for name, bench in BENCHES.items():
+        print(f"  {name} ...", end="", flush=True, file=sys.stderr)
+        benches[name] = bench(quick)
+        print(f" {benches[name]['seconds']:.3f}s", file=sys.stderr)
+    print("  sweep_scaling ...", end="", flush=True, file=sys.stderr)
+    scaling = bench_sweep_scaling(quick)
+    if scaling is None:
+        print(" skipped (no repro.parallel)", file=sys.stderr)
+    else:
+        benches["sweep_scaling"] = scaling
+        print(
+            f" jobs1={scaling['jobs1_seconds']:.3f}s "
+            f"jobs4={scaling['jobs4_seconds']:.3f}s "
+            f"({scaling['scaling']:.2f}x)",
+            file=sys.stderr,
+        )
+    return {
+        "schema": 1,
+        "label": label,
+        "date": _datetime.date.today().isoformat(),
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        # Scaling numbers are meaningless without the core count: jobs=4
+        # on a single-core host measures pool overhead, not speedup.
+        "cpu_count": os.cpu_count(),
+        "benches": benches,
+    }
+
+
+def _speedups(before: Dict[str, object], after: Dict[str, object]) -> Dict[str, float]:
+    speedups = {}
+    for name, entry in after.items():
+        base = before.get(name)
+        if (
+            isinstance(entry, dict)
+            and isinstance(base, dict)
+            and "seconds" in entry
+            and "seconds" in base
+            and entry["seconds"] > 0
+        ):
+            speedups[name] = round(base["seconds"] / entry["seconds"], 3)
+    return speedups
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads (CI smoke)"
+    )
+    parser.add_argument("--label", default="current", help="tag for this record")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="output path (default: BENCH_<date>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="a previous record to embed as 'before' (adds per-bench speedups)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"recording ({'quick' if args.quick else 'full'}) ...", file=sys.stderr)
+    current = record(args.quick, args.label)
+
+    document: Dict[str, object] = current
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        # A baseline may itself be a before/after document; compare against
+        # its "after" side then.
+        before = baseline.get("after", baseline)
+        document = {
+            "schema": 1,
+            "date": current["date"],
+            "quick": current["quick"],
+            "python": current["python"],
+            "platform": current["platform"],
+            "cpu_count": current["cpu_count"],
+            "before": {
+                "label": before.get("label", "before"),
+                "date": before.get("date"),
+                "benches": before["benches"],
+            },
+            "after": {"label": current["label"], "benches": current["benches"]},
+            "speedup": _speedups(before["benches"], current["benches"]),
+        }
+
+    output = args.output
+    if output is None:
+        output = REPO_ROOT / f"BENCH_{current['date']}.json"
+    output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,3 +119,70 @@ def test_matching_throughput(benchmark):
 
     total = benchmark(match_all)
     assert total > 0
+
+
+def test_matching_memo_throughput(benchmark):
+    """Hot-path matching with heavy content repetition.
+
+    A run draws event contents from a small pool over and over, so
+    :meth:`matching_directions_sorted` should be dominated by memo hits;
+    this benchmark is the memo's best case and regresses loudly if the
+    cache is lost or keyed badly.
+    """
+    from repro.pubsub.subscription import SubscriptionTable
+
+    rng = random.Random(3)
+    space = PatternSpace(70)
+    table = SubscriptionTable()
+    for pattern in range(70):
+        for direction in rng.sample(range(4), rng.randint(1, 3)):
+            table.add(pattern, direction)
+    distinct = [space.sample_event_patterns(rng) for _ in range(200)]
+
+    def match_repeated():
+        total = 0
+        for _ in range(50):
+            for patterns in distinct:
+                directions = table.matching_directions_sorted(patterns)
+                total += len(directions)
+                if directions and directions[0] == -1:  # LOCAL
+                    total += 1
+        return total
+
+    total = benchmark(match_repeated)
+    assert total > 0
+
+
+def test_forward_event_throughput(benchmark):
+    """``Dispatcher._forward_event`` through a live overlay.
+
+    The per-hop match + per-direction send that dominates event routing;
+    exercised straight on a built simulation so link/observer inlining
+    shows up here too.
+    """
+    config = SimulationConfig(
+        n_dispatchers=20,
+        n_patterns=35,
+        algorithm="none",
+        error_rate=0.0,
+        sim_time=2.0,
+        measure_start=0.1,
+        measure_end=1.0,
+        buffer_size=100,
+        seed=9,
+    )
+    events = [
+        make_event(source=0, seq=i + 1, patterns=(i % 35,),
+                   pattern_seqs={i % 35: i + 1})
+        for i in range(1_000)
+    ]
+
+    def forward():
+        simulation = Simulation(config)
+        dispatcher = simulation.system.dispatchers[0]
+        for event in events:
+            dispatcher._forward_event(event, None, exclude=None)
+        return simulation.sim.pending
+
+    pending = benchmark(forward)
+    assert pending > 0

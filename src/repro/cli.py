@@ -3,8 +3,8 @@
 ::
 
     repro-pubsub run   [--algorithm X] [--error-rate E] [--n N] ...
-    repro-pubsub compare [--error-rate E] ...
-    repro-pubsub figure {3a,3b,4-buffer,4-interval,5,6,7,8,9a,9b,10}
+    repro-pubsub compare [--error-rate E] [--jobs N] ...
+    repro-pubsub figure {3a,3b,4-buffer,4-interval,5,6,7,8,9a,9b,10} [--jobs N]
     repro-pubsub list-algorithms
 
 ``run`` executes one scenario and prints its summary; ``compare`` runs all
@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from repro import ALGORITHMS, PAPER_ALGORITHMS, SimulationConfig, run_scenario
 from repro.analysis.tables import format_table
+from repro.parallel import map_scenarios
 from repro.scenarios import experiments
 
 __all__ = ["main", "build_parser"]
@@ -43,6 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="run every paper algorithm on one scenario"
     )
     _add_scenario_arguments(compare_parser, with_algorithm=False)
+    _add_jobs_argument(compare_parser)
 
     figure_parser = subparsers.add_parser(
         "figure", help="regenerate one of the paper's figures"
@@ -54,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument(
         "--chart", action="store_true", help="also draw an ASCII chart"
     )
+    _add_jobs_argument(figure_parser)
 
     subparsers.add_parser("list-algorithms", help="list recovery algorithms")
     return parser
@@ -79,6 +82,18 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser, with_algorithm=True
         help="rho; omit for a stable topology",
     )
     parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for independent scenario cells "
+            "(1 = serial, 0 = all CPUs); results are identical either way"
+        ),
+    )
 
 
 def _config_from_args(args, algorithm: Optional[str] = None) -> SimulationConfig:
@@ -117,17 +132,17 @@ def _print_result(result) -> None:
 
 
 _FIGURES = {
-    "3a": lambda: experiments.fig3a_lossy_delivery(),
-    "3b": lambda: experiments.fig3b_reconfiguration(),
-    "4-buffer": lambda: experiments.fig4_buffer_sweep(),
-    "4-interval": lambda: experiments.fig4_interval_sweep(),
-    "5": lambda: experiments.fig5_interval_buffer_grid(),
-    "6": lambda: experiments.fig6_scalability(),
-    "7": lambda: experiments.fig7_receivers_per_event(),
-    "8": lambda: experiments.fig8_patterns_delivery(),
-    "9a": lambda: experiments.fig9a_overhead_scale(),
-    "9b": lambda: experiments.fig9b_overhead_patterns(),
-    "10": lambda: experiments.fig10_overhead_error_rate(),
+    "3a": lambda jobs: experiments.fig3a_lossy_delivery(jobs=jobs),
+    "3b": lambda jobs: experiments.fig3b_reconfiguration(jobs=jobs),
+    "4-buffer": lambda jobs: experiments.fig4_buffer_sweep(jobs=jobs),
+    "4-interval": lambda jobs: experiments.fig4_interval_sweep(jobs=jobs),
+    "5": lambda jobs: experiments.fig5_interval_buffer_grid(jobs=jobs),
+    "6": lambda jobs: experiments.fig6_scalability(jobs=jobs),
+    "7": lambda jobs: experiments.fig7_receivers_per_event(jobs=jobs),
+    "8": lambda jobs: experiments.fig8_patterns_delivery(jobs=jobs),
+    "9a": lambda jobs: experiments.fig9a_overhead_scale(jobs=jobs),
+    "9b": lambda jobs: experiments.fig9b_overhead_patterns(jobs=jobs),
+    "10": lambda jobs: experiments.fig10_overhead_error_rate(jobs=jobs),
 }
 
 
@@ -143,9 +158,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_result(run_scenario(_config_from_args(args)))
         return 0
     if args.command == "compare":
+        configs = [
+            _config_from_args(args, algorithm=algorithm)
+            for algorithm in PAPER_ALGORITHMS
+        ]
+        results = map_scenarios(configs, jobs=args.jobs)
         rows = []
-        for algorithm in PAPER_ALGORITHMS:
-            result = run_scenario(_config_from_args(args, algorithm=algorithm))
+        for algorithm, result in zip(PAPER_ALGORITHMS, results):
             rows.append(
                 (
                     algorithm,
@@ -163,7 +182,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
     if args.command == "figure":
-        result = _FIGURES[args.which]()
+        result = _FIGURES[args.which](args.jobs)
         print(result.to_table())
         if args.chart:
             print()

@@ -54,20 +54,21 @@ class MessageCounters:
     # TrafficObserver interface (hot path)
     # ------------------------------------------------------------------
     def count_send(self, kind: MessageKind, node_id: int) -> None:
-        kind_index = int(kind)
-        self._sent[kind_index] += 1
-        if kind_index == self._gossip_kind:
+        # MessageKind is an IntEnum: it indexes lists and compares against
+        # ints directly, so no int() round-trip is needed on the hot path.
+        self._sent[kind] += 1
+        if kind == self._gossip_kind:
             self._gossip_by_node[node_id] += 1
-        elif kind_index == self._event_kind:
+        elif kind == self._event_kind:
             self._events_by_node[node_id] += 1
-        elif kind_index in self._oob_kinds:
+        elif kind in self._oob_kinds:
             self._oob_by_node[node_id] += 1
 
     def count_drop(self, kind: MessageKind) -> None:
-        self._dropped[int(kind)] += 1
+        self._dropped[kind] += 1
 
     def count_deliver(self, kind: MessageKind) -> None:
-        self._delivered[int(kind)] += 1
+        self._delivered[kind] += 1
 
     # ------------------------------------------------------------------
     # Queries

@@ -211,7 +211,7 @@ class Network:
         ):
             self.observer.count_drop(message.kind)
             return True
-        self.sim.schedule(
+        self.sim.schedule_call(
             self.config.oob_latency, self._deliver_oob, message, from_node, to_node
         )
         return True

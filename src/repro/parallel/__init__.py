@@ -1,0 +1,35 @@
+"""Parallel experiment execution.
+
+The scenario layer fans independent (config, seed) cells -- sweep points,
+algorithm crosses, replication seeds -- over a pluggable executor.  Two
+backends ship:
+
+* :class:`SerialExecutor` -- the default; runs cells in order, in process.
+* :class:`ProcessExecutor` -- a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out across CPU cores.
+
+Both preserve submission order and, because every simulation is a pure
+function of its :class:`~repro.scenarios.config.SimulationConfig` (no
+global state, no wall-clock reads, no hash-randomized iteration on the
+result path), both produce **bit-identical** results: ``jobs=4`` and
+``jobs=1`` differ only in ``RunResult.wall_clock_seconds``.  The tests in
+``tests/parallel/`` assert exactly that.
+"""
+
+from repro.parallel.executor import (
+    ExperimentExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    get_executor,
+    map_scenarios,
+    resolve_jobs,
+)
+
+__all__ = [
+    "ExperimentExecutor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "get_executor",
+    "map_scenarios",
+    "resolve_jobs",
+]

@@ -32,7 +32,6 @@ therefore supports:
 from __future__ import annotations
 
 import random
-from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.pubsub.event import Event, EventId
@@ -79,15 +78,26 @@ class EventCache:
             raise ValueError("the 'random' policy needs an rng")
         self.capacity = capacity
         self.policy = policy
+        # Policy flags hoisted out of the per-event hot path.
+        self._is_random = policy == "random"
+        self._is_lru = policy == "lru"
         self._rng = rng
         # O(1) uniform victim selection for the random policy.
         self._id_list: List[EventId] = []
         self._id_pos: Dict[EventId, int] = {}
-        self._events: "OrderedDict[EventId, Event]" = OrderedDict()
+        # Plain dicts keep insertion order (guaranteed since 3.7) and beat
+        # OrderedDict on every hot operation; FIFO eviction pops
+        # ``next(iter(...))`` and LRU refreshes via pop + reinsert.
+        self._events: Dict[EventId, Event] = {}
+        # Secondary indexes are built lazily: the loss-key index serves the
+        # pull algorithms, the per-pattern index serves push digests, and no
+        # run needs both.  Until first use an index is skipped entirely in
+        # insert/evict; activation rebuilds it from ``_events`` (whose
+        # insertion order it inherits) and maintains it from then on.
         self._by_loss_key: Dict[LossKey, EventId] = {}
-        # Per-pattern index (insertion-ordered) so the push algorithm can
-        # build its digest without scanning the whole buffer every round.
-        self._by_pattern: Dict[int, "OrderedDict[EventId, Event]"] = {}
+        self._by_pattern: Dict[int, Dict[EventId, Event]] = {}
+        self._loss_index_active = False
+        self._pattern_index_active = False
         self.insertions = 0
         self.evictions = 0
         self.hits = 0
@@ -101,28 +111,37 @@ class EventCache:
         refresh its FIFO position (the paper's strategy is plain FIFO, not
         LRU).  Returns ``True`` if the event is cached after the call.
         """
-        if self.capacity == 0:
+        capacity = self.capacity
+        if capacity == 0:
             return False
-        if event.event_id in self._events:
+        events = self._events
+        event_id = event.event_id
+        if event_id in events:
             return True
-        if len(self._events) >= self.capacity:
+        if len(events) >= capacity:
             self._evict_one()
-        self._events[event.event_id] = event
-        if self.policy == "random":
-            self._id_pos[event.event_id] = len(self._id_list)
-            self._id_list.append(event.event_id)
-        for pattern, seq in event.pattern_seqs.items():
-            self._by_loss_key[(event.source, pattern, seq)] = event.event_id
-            bucket = self._by_pattern.get(pattern)
-            if bucket is None:
-                bucket = OrderedDict()
-                self._by_pattern[pattern] = bucket
-            bucket[event.event_id] = event
+        events[event_id] = event
+        if self._is_random:
+            self._id_pos[event_id] = len(self._id_list)
+            self._id_list.append(event_id)
+        if self._loss_index_active:
+            by_loss_key = self._by_loss_key
+            source = event_id.source
+            for pattern, seq in event.pattern_seqs.items():
+                by_loss_key[(source, pattern, seq)] = event_id
+        if self._pattern_index_active:
+            by_pattern = self._by_pattern
+            for pattern in event.pattern_seqs:
+                bucket = by_pattern.get(pattern)
+                if bucket is None:
+                    bucket = {}
+                    by_pattern[pattern] = bucket
+                bucket[event_id] = event
         self.insertions += 1
         return True
 
     def _evict_one(self) -> None:
-        if self.policy == "random":
+        if self._is_random:
             victim_index = self._rng.randrange(len(self._id_list))
             event_id = self._id_list[victim_index]
             last_id = self._id_list[-1]
@@ -134,40 +153,78 @@ class EventCache:
         else:
             # fifo and lru both evict the head; lru differs by refreshing
             # positions on hits (see get/get_by_loss_key).
-            event_id, event = self._events.popitem(last=False)
-        for pattern, seq in event.pattern_seqs.items():
-            self._by_loss_key.pop((event.source, pattern, seq), None)
-            bucket = self._by_pattern.get(pattern)
-            if bucket is not None:
-                bucket.pop(event_id, None)
-                if not bucket:
-                    del self._by_pattern[pattern]
+            events = self._events
+            event_id = next(iter(events))
+            event = events.pop(event_id)
+        if self._loss_index_active:
+            by_loss_key = self._by_loss_key
+            source = event_id.source
+            for pattern, seq in event.pattern_seqs.items():
+                by_loss_key.pop((source, pattern, seq), None)
+        if self._pattern_index_active:
+            by_pattern = self._by_pattern
+            for pattern in event.pattern_seqs:
+                bucket = by_pattern.get(pattern)
+                if bucket is not None:
+                    bucket.pop(event_id, None)
+                    if not bucket:
+                        del by_pattern[pattern]
         self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Lazy index activation
+    # ------------------------------------------------------------------
+    def _activate_loss_index(self) -> None:
+        by_loss_key = self._by_loss_key
+        for event_id, event in self._events.items():
+            source = event_id.source
+            for pattern, seq in event.pattern_seqs.items():
+                by_loss_key[(source, pattern, seq)] = event_id
+        self._loss_index_active = True
+
+    def _activate_pattern_index(self) -> None:
+        by_pattern = self._by_pattern
+        for event_id, event in self._events.items():
+            for pattern in event.pattern_seqs:
+                bucket = by_pattern.get(pattern)
+                if bucket is None:
+                    bucket = {}
+                    by_pattern[pattern] = bucket
+                bucket[event_id] = event
+        self._pattern_index_active = True
 
     # ------------------------------------------------------------------
     def get(self, event_id: EventId) -> Optional[Event]:
         """Lookup by event id (push-style positive digest entries)."""
-        event = self._events.get(event_id)
+        events = self._events
+        event = events.get(event_id)
         if event is None:
             self.misses += 1
         else:
             self.hits += 1
-            if self.policy == "lru":
-                self._events.move_to_end(event_id)
+            if self._is_lru:
+                # Pop + reinsert moves the entry to the back of the order.
+                del events[event_id]
+                events[event_id] = event
         return event
 
     def get_by_loss_key(
         self, source: int, pattern: int, pattern_seq: int
     ) -> Optional[Event]:
         """Lookup by loss-detection triple (pull-style digest entries)."""
+        if not self._loss_index_active:
+            self._activate_loss_index()
         event_id = self._by_loss_key.get((source, pattern, pattern_seq))
         if event_id is None:
             self.misses += 1
             return None
         self.hits += 1
-        if self.policy == "lru":
-            self._events.move_to_end(event_id)
-        return self._events[event_id]
+        events = self._events
+        event = events[event_id]
+        if self._is_lru:
+            del events[event_id]
+            events[event_id] = event
+        return event
 
     def contains(self, event_id: EventId) -> bool:
         return event_id in self._events
@@ -177,11 +234,15 @@ class EventCache:
 
         Used by the push algorithm to build its positive digest.
         """
+        if not self._pattern_index_active:
+            self._activate_pattern_index()
         bucket = self._by_pattern.get(pattern)
         return list(bucket.values()) if bucket else []
 
     def matching_ids(self, pattern: int) -> List[EventId]:
         """Ids of cached events matching ``pattern``, oldest first."""
+        if not self._pattern_index_active:
+            self._activate_pattern_index()
         bucket = self._by_pattern.get(pattern)
         return list(bucket) if bucket else []
 

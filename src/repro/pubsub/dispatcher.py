@@ -237,32 +237,62 @@ class Dispatcher:
         if self.recovery is not None:
             self.recovery.on_event_published(event)
         self.received_ids.add(event.event_id)
-        if self.table.matches_locally(event.patterns):
+        directions = self.table.matching_directions_sorted(event.patterns)
+        if directions and directions[0] == LOCAL:
             self._deliver(event, recovered=False)
         # "Each dispatcher caches only events for which it is either the
         # publisher or a subscriber" -- the publisher always caches.
         self.cache.insert(event)
         route: Route = (self.node_id,) if self.record_routes else None
-        self._forward_event(event, route, exclude=None)
+        self._forward_event(event, route, exclude=None, directions=directions)
         return event
 
-    def _forward_event(self, event: Event, route: Route, exclude: Optional[int]) -> None:
+    def _forward_event(
+        self,
+        event: Event,
+        route: Route,
+        exclude: Optional[int],
+        directions: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        """Forward ``event`` to every matching direction but ``exclude``.
+
+        ``directions`` lets callers that already resolved the (memoized)
+        sorted direction tuple for this event content pass it in, saving a
+        second table query per hop.
+        """
         if not self.tree_routing_enabled:
             return
-        directions = self.table.matching_directions(event.patterns)
-        self.match_operations += len(event.patterns)
-        for direction in sorted(directions):
+        patterns = event.patterns
+        if directions is None:
+            directions = self.table.matching_directions_sorted(patterns)
+        self.match_operations += len(patterns)
+        if not directions:
+            return
+        network_send = self.network.send
+        node_id = self.node_id
+        # One immutable envelope shared by every direction: the network layer
+        # never mutates messages, so per-direction copies are pure overhead.
+        message = None
+        for direction in directions:
             if direction == LOCAL or direction == exclude:
                 continue
-            message = Message(MessageKind.EVENT, (event, route), event.source)
-            self.network.send(self.node_id, direction, message)
+            if message is None:
+                message = Message(
+                    MessageKind.EVENT, (event, route), event.event_id.source
+                )
+            network_send(node_id, direction, message)
 
     def _handle_event(self, payload: Tuple[Event, Route], from_node: int) -> None:
         event, route = payload
-        if event.event_id in self.received_ids:
+        event_id = event.event_id
+        received_ids = self.received_ids
+        if event_id in received_ids:
             return  # duplicate (possible across reconfigurations)
-        self.received_ids.add(event.event_id)
-        is_subscriber = self.table.matches_locally(event.patterns)
+        received_ids.add(event_id)
+        # One memoized table query serves the local-match test and the
+        # forwarding decision (LOCAL sorts first: it is -1, node ids >= 0).
+        directions = self.table.matching_directions_sorted(event.patterns)
+        is_subscriber = bool(directions) and directions[0] == LOCAL
         if is_subscriber:
             self._deliver(event, recovered=False)
         if self.recovery is not None:
@@ -271,7 +301,7 @@ class Dispatcher:
             self.cache.insert(event)
         if route is not None:
             route = route + (self.node_id,)
-        self._forward_event(event, route, exclude=from_node)
+        self._forward_event(event, route, exclude=from_node, directions=directions)
 
     def receive_recovered_event(self, event: Event) -> None:
         """Process an event obtained through the recovery machinery.

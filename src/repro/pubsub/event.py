@@ -29,11 +29,15 @@ __all__ = ["EventId", "Event"]
 class EventId:
     """Globally unique event identity: (source dispatcher, per-source seq)."""
 
-    __slots__ = ("source", "seq")
+    __slots__ = ("source", "seq", "_hash")
 
     def __init__(self, source: int, seq: int) -> None:
         self.source = source
         self.seq = seq
+        # Ids are hashed millions of times per run (duplicate suppression,
+        # cache indexes); precompute once.  hash() of an int tuple is
+        # deterministic across processes (no string hash randomization).
+        self._hash = hash((source, seq))
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -43,8 +47,7 @@ class EventId:
         )
 
     def __hash__(self) -> int:
-        # Cheap, collision-free for realistic seq ranges.
-        return hash((self.source, self.seq))
+        return self._hash
 
     def __lt__(self, other: "EventId") -> bool:
         return (self.source, self.seq) < (other.source, other.seq)
@@ -113,7 +116,7 @@ class Event:
         return isinstance(other, Event) and self.event_id == other.event_id
 
     def __hash__(self) -> int:
-        return hash(self.event_id)
+        return self.event_id._hash
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -20,6 +20,10 @@ from repro.pubsub.pattern import LOCAL
 
 __all__ = ["SubscriptionTable"]
 
+#: Memo entries are dropped wholesale past this size -- a safety valve for
+#: adversarial workloads; realistic pattern universes stay far below it.
+_MATCH_CACHE_LIMIT = 1 << 16
+
 
 class SubscriptionTable:
     """Routing state of one dispatcher.
@@ -27,11 +31,24 @@ class SubscriptionTable:
     The structure is intentionally simple: ``{pattern: set(direction)}``.
     All query methods return deterministic (sorted) collections so that
     simulations are reproducible regardless of hash randomization.
+
+    Matching memo
+    -------------
+    Event contents repeat heavily within a run (a handful of patterns,
+    drawn over and over), while subscription tables mutate rarely (never,
+    in the paper's stable-subscription regime).  The per-event routing
+    queries -- :meth:`matching_directions_sorted` and
+    :meth:`matches_locally` -- are therefore memoized on the event's
+    pattern tuple; *any* mutation of the table invalidates the whole memo
+    (see :meth:`_invalidate`).
     """
 
     def __init__(self) -> None:
         self._directions: Dict[int, Set[int]] = {}
         self._forwarded: Dict[int, Set[int]] = {}
+        #: pattern tuple -> sorted direction tuple (LOCAL first if present,
+        #: since LOCAL is -1 and node ids are >= 0).
+        self._match_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Mutation
@@ -43,6 +60,7 @@ class SubscriptionTable:
         table (i.e. this is the first direction for it) -- the caller uses
         this to decide whether to propagate the subscription further.
         """
+        self._invalidate()
         directions = self._directions.get(pattern)
         if directions is None:
             self._directions[pattern] = {direction}
@@ -61,17 +79,20 @@ class SubscriptionTable:
         directions = self._directions.get(pattern)
         if directions is None:
             return
+        self._invalidate()
         directions.discard(direction)
         if not directions:
             del self._directions[pattern]
 
     def clear(self) -> None:
         """Drop all routing state (used when routes are rebuilt)."""
+        self._invalidate()
         self._directions.clear()
         self._forwarded.clear()
 
     def drop_direction(self, direction: int) -> None:
         """Remove a neighbor from every pattern (neighbor disappeared)."""
+        self._invalidate()
         empty = []
         for pattern, directions in self._directions.items():
             directions.discard(direction)
@@ -147,6 +168,30 @@ class SubscriptionTable:
             if LOCAL in directions
         )
 
+    def _invalidate(self) -> None:
+        """Drop the matching memo; called on every table mutation."""
+        if self._match_cache:
+            self._match_cache.clear()
+
+    def _matching_tuple(self, patterns: Iterable[int]) -> Tuple[int, ...]:
+        """Memoized sorted direction tuple for one event content."""
+        key = patterns if type(patterns) is tuple else tuple(patterns)
+        cache = self._match_cache
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        result: Set[int] = set()
+        directions_by_pattern = self._directions
+        for pattern in key:
+            directions = directions_by_pattern.get(pattern)
+            if directions:
+                result |= directions
+        value = tuple(sorted(result))
+        if len(cache) >= _MATCH_CACHE_LIMIT:
+            cache.clear()
+        cache[key] = value
+        return value
+
     def matching_directions(self, patterns: Iterable[int]) -> Set[int]:
         """Union of directions over the given event content.
 
@@ -154,20 +199,22 @@ class SubscriptionTable:
         may match several subscriptions, laid down on the same tree, so the
         forwarding set is the union (each direction receives one copy).
         """
-        result: Set[int] = set()
-        for pattern in patterns:
-            directions = self._directions.get(pattern)
-            if directions:
-                result |= directions
-        return result
+        return set(self._matching_tuple(patterns))
+
+    def matching_directions_sorted(self, patterns: Iterable[int]) -> Tuple[int, ...]:
+        """Sorted direction tuple for one event content (memoized).
+
+        The hot-path variant of :meth:`matching_directions`: the dispatcher
+        forwards in this exact order, so handing out a pre-sorted tuple
+        kills the per-forward ``sorted()``.  With LOCAL = -1 and node ids
+        >= 0, LOCAL -- when present -- is always the first element.
+        """
+        return self._matching_tuple(patterns)
 
     def matches_locally(self, patterns: Iterable[int]) -> bool:
         """True iff any of the event's patterns is locally subscribed."""
-        for pattern in patterns:
-            directions = self._directions.get(pattern)
-            if directions and LOCAL in directions:
-                return True
-        return False
+        matching = self._matching_tuple(patterns)
+        return bool(matching) and matching[0] == LOCAL
 
     def __len__(self) -> int:
         return len(self._directions)

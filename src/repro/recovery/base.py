@@ -234,15 +234,19 @@ class RecoveryAlgorithm:
         """Pull-style short-circuit: retransmit the cached subset of a
         negative digest and return the entries still unmet."""
         remaining = []
-        cache = self.dispatcher.cache
-        for source, pattern, seq in entries:
-            event = cache.get_by_loss_key(source, pattern, seq)
+        append = remaining.append
+        dispatcher = self.dispatcher
+        get_by_loss_key = dispatcher.cache.get_by_loss_key
+        send_oob_event = dispatcher.send_oob_event
+        stats = self.stats
+        for entry in entries:
+            event = get_by_loss_key(entry[0], entry[1], entry[2])
             if event is None:
-                remaining.append((source, pattern, seq))
+                append(entry)
             else:
-                self.dispatcher.send_oob_event(requester, event)
-                self.stats.retransmissions_sent += 1
-                self.stats.cache_short_circuits += 1
+                send_oob_event(requester, event)
+                stats.retransmissions_sent += 1
+                stats.cache_short_circuits += 1
         return tuple(remaining)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -77,6 +77,11 @@ class LossDetector:
         self.give_up_age = give_up_age
         self._streams: Dict[Tuple[int, int], _StreamState] = {}
         self._lost: "OrderedDict[LostKey, LostEntry]" = OrderedDict()
+        # Incremental per-pattern / per-source pending counts, so the gossip
+        # rounds' ``patterns_with_losses`` / ``sources_with_losses`` queries
+        # do not rescan the whole Lost buffer every round.
+        self._pattern_counts: Dict[int, int] = {}
+        self._source_counts: Dict[int, int] = {}
         # Statistics.
         self.detected = 0
         self.recovered = 0
@@ -92,26 +97,39 @@ class LossDetector:
         Returns the newly detected losses.
         """
         new_losses: List[LostEntry] = []
-        source = event.source
+        source = event.event_id.source
+        streams = self._streams
+        lost = self._lost
         for pattern, seq in event.pattern_seqs.items():
             if pattern not in local_patterns:
                 continue
-            state = self._streams.get((source, pattern))
+            stream_key = (source, pattern)
+            state = streams.get(stream_key)
             if state is None:
                 state = _StreamState()
-                self._streams[(source, pattern)] = state
-            if seq in state.missing:
-                state.missing.discard(seq)
-                entry = self._lost.pop((source, pattern, seq), None)
+                streams[stream_key] = state
+            missing = state.missing
+            max_seen = state.max_seen
+            if seq == max_seen + 1:
+                # Fast path: the in-order arrival every reliable hop takes.
+                state.max_seen = seq
+            elif seq in missing:
+                missing.discard(seq)
+                entry = lost.pop((source, pattern, seq), None)
                 if entry is not None:
                     self.recovered += 1
-            elif seq > state.max_seen:
-                for missing_seq in range(state.max_seen + 1, seq):
-                    state.missing.add(missing_seq)
+                    self._deindex(entry)
+            elif seq > max_seen:
+                pattern_counts = self._pattern_counts
+                source_counts = self._source_counts
+                for missing_seq in range(max_seen + 1, seq):
+                    missing.add(missing_seq)
                     entry = LostEntry(source, pattern, missing_seq, now)
-                    self._lost[entry.key()] = entry
+                    lost[(source, pattern, missing_seq)] = entry
                     new_losses.append(entry)
                     self.detected += 1
+                    pattern_counts[pattern] = pattern_counts.get(pattern, 0) + 1
+                    source_counts[source] = source_counts.get(source, 0) + 1
                 state.max_seen = seq
                 self._enforce_capacity()
             # else: duplicate or already-accounted arrival -- nothing to do.
@@ -129,14 +147,36 @@ class LossDetector:
         state = self._streams.get((entry.source, entry.pattern))
         if state is not None:
             state.missing.discard(entry.seq)
+        self._deindex(entry)
+
+    def _deindex(self, entry: LostEntry) -> None:
+        """Drop one entry's contribution to the per-pattern/source counts."""
+        pattern_counts = self._pattern_counts
+        remaining = pattern_counts[entry.pattern] - 1
+        if remaining:
+            pattern_counts[entry.pattern] = remaining
+        else:
+            del pattern_counts[entry.pattern]
+        source_counts = self._source_counts
+        remaining = source_counts[entry.source] - 1
+        if remaining:
+            source_counts[entry.source] = remaining
+        else:
+            del source_counts[entry.source]
 
     def _prune_aged(self, now: float) -> None:
         if self.give_up_age is None:
             return
         cutoff = now - self.give_up_age
-        stale = [key for key, entry in self._lost.items() if entry.detected_at < cutoff]
-        for key in stale:
-            entry = self._lost.pop(key)
+        lost = self._lost
+        # Entries are inserted at detection time and the clock never goes
+        # backwards, so ``_lost`` is ordered by ``detected_at``: pruning
+        # stops at the first fresh entry instead of scanning the buffer.
+        while lost:
+            entry = next(iter(lost.values()))
+            if entry.detected_at >= cutoff:
+                break
+            del lost[(entry.source, entry.pattern, entry.seq)]
             self._forget(entry)
             self.abandoned += 1
 
@@ -153,12 +193,12 @@ class LossDetector:
     def patterns_with_losses(self, now: float = float("inf")) -> List[int]:
         """Sorted patterns with at least one pending loss."""
         self._prune_aged(now)
-        return sorted({entry.pattern for entry in self._lost.values()})
+        return sorted(self._pattern_counts)
 
     def sources_with_losses(self, now: float = float("inf")) -> List[int]:
         """Sorted sources with at least one pending loss."""
         self._prune_aged(now)
-        return sorted({entry.source for entry in self._lost.values()})
+        return sorted(self._source_counts)
 
     def entries_for_pattern(self, pattern: int, limit: Optional[int] = None) -> List[LostKey]:
         """Oldest-first loss keys for ``pattern`` (subscriber-based pull)."""

@@ -42,6 +42,10 @@ class PullRecoveryBase(RecoveryAlgorithm):
         )
         self.routes = RoutesBuffer()
         self._local_patterns_cache: Optional[frozenset] = None
+        # The simulator never changes for the lifetime of a dispatcher;
+        # aliasing it (and reading the clock via the raw ``_now`` slot
+        # rather than the ``now`` property) trims per-received-event cost.
+        self._sim = dispatcher.sim
 
     # ------------------------------------------------------------------
     # Loss detection and route learning
@@ -58,9 +62,12 @@ class PullRecoveryBase(RecoveryAlgorithm):
         self._local_patterns_cache = None
 
     def on_event_received(self, event, route) -> None:
-        self.detector.observe(event, self._local_patterns(), self.dispatcher.sim.now)
+        local_patterns = self._local_patterns_cache
+        if local_patterns is None:
+            local_patterns = self._local_patterns()
+        self.detector.observe(event, local_patterns, self._sim._now)
         if route is not None and self.requires_route_recording:
-            self.routes.update_from_event_route(event.source, route)
+            self.routes.update_from_event_route(event.event_id.source, route)
 
     # ------------------------------------------------------------------
     # Subscriber-based mechanics

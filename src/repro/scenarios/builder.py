@@ -13,6 +13,7 @@ algorithm is active.
 
 from __future__ import annotations
 
+import gc
 import time
 from typing import List, Optional
 
@@ -189,7 +190,18 @@ class Simulation:
         # Wall-clock accounting feeds RunResult.wall_seconds for reporting
         # only; it never influences the event schedule or any random draw.
         wall_start = time.perf_counter()  # repro-lint: disable=REP002
-        self.sim.run(until=horizon)
+        # The event loop allocates heavily (messages, heap entries, digests)
+        # but creates no reference cycles among them, so generational GC
+        # passes are pure overhead; pause collection for the duration and
+        # restore the caller's setting afterwards.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self.sim.run(until=horizon)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         self._wall_seconds += time.perf_counter() - wall_start  # repro-lint: disable=REP002
         return self.collect_result()
 

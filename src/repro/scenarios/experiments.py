@@ -27,10 +27,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.parallel import map_scenarios
 from repro.recovery import PAPER_ALGORITHMS
 from repro.scenarios.config import SimulationConfig
 from repro.scenarios.results import RunResult
-from repro.scenarios.runner import run_scenario
 
 __all__ = [
     "ExperimentResult",
@@ -148,7 +148,12 @@ class ExperimentResult:
         return ascii_chart(series, title=f"{self.experiment_id}: {self.title}")
 
     def _numeric_x(self) -> List[float]:
-        return [float(x) for x in self.x_values]
+        try:
+            return [float(x) for x in self.x_values]
+        except (TypeError, ValueError):
+            # Categorical axis (e.g. Fig 3's algorithm names): chart by
+            # position, in the order the x values were given.
+            return [float(index) for index in range(len(self.x_values))]
 
 
 # ----------------------------------------------------------------------
@@ -163,22 +168,28 @@ def _run_curves(
     config_for: Callable[[str], SimulationConfig],
     apply_x: Callable[[SimulationConfig], SimulationConfig],
     metric: Callable[[RunResult], float],
+    jobs=None,
 ) -> ExperimentResult:
     """Run ``algorithms`` x ``x_values`` and collect ``metric`` curves.
 
     ``config_for(algorithm)`` yields the per-algorithm base config;
-    ``apply_x(config, x)`` specializes it for one x value.
+    ``apply_x(config, x)`` specializes it for one x value.  ``jobs`` fans
+    the full algorithm x value grid over worker processes (see
+    :mod:`repro.parallel`).
     """
     result = ExperimentResult(experiment_id, title, x_label, list(x_values))
+    cells = [
+        (algorithm, apply_x(config_for(algorithm), x))
+        for algorithm in algorithms
+        for x in x_values
+    ]
+    run_results = map_scenarios([config for _, config in cells], jobs=jobs)
+    grouped: Dict[str, List[RunResult]] = {a: [] for a in algorithms}
+    for (algorithm, _config), run in zip(cells, run_results):
+        grouped[algorithm].append(run)
     for algorithm in algorithms:
-        base = config_for(algorithm)
-        curve: List[Optional[float]] = []
-        runs: List[RunResult] = []
-        for x in x_values:
-            run = run_scenario(apply_x(base, x))
-            runs.append(run)
-            curve.append(metric(run))
-        result.curves[algorithm] = curve
+        runs = grouped[algorithm]
+        result.curves[algorithm] = [metric(run) for run in runs]
         result.results[algorithm] = runs
     return result
 
@@ -194,6 +205,7 @@ def fig3a_lossy_delivery(
     error_rate: float = 0.1,
     algorithms: Sequence[str] = DELIVERY_ALGORITHMS,
     seed: int = 42,
+    jobs=None,
 ) -> ExperimentResult:
     """Delivery rate per algorithm on a stable topology with lossy links.
 
@@ -208,16 +220,12 @@ def fig3a_lossy_delivery(
         "algorithm",
         list(algorithms),
     )
-    curve = []
-    runs = []
-    for algorithm in algorithms:
-        config = base_config(seed=seed).replace(
-            algorithm=algorithm, error_rate=error_rate
-        )
-        run = run_scenario(config)
-        runs.append(run)
-        curve.append(run.delivery_rate)
-    result.curves["delivery_rate"] = curve
+    configs = [
+        base_config(seed=seed).replace(algorithm=algorithm, error_rate=error_rate)
+        for algorithm in algorithms
+    ]
+    runs = map_scenarios(configs, jobs=jobs)
+    result.curves["delivery_rate"] = [run.delivery_rate for run in runs]
     result.results["delivery_rate"] = runs
     return result
 
@@ -229,6 +237,7 @@ def fig3b_reconfiguration(
     interval: float = 0.2,
     algorithms: Sequence[str] = DELIVERY_ALGORITHMS,
     seed: int = 42,
+    jobs=None,
 ) -> ExperimentResult:
     """Delivery with fully reliable links but a reconfiguring overlay.
 
@@ -243,23 +252,22 @@ def fig3b_reconfiguration(
         "algorithm",
         list(algorithms),
     )
-    rates = []
-    minima = []
-    runs = []
-    for algorithm in algorithms:
-        config = base_config(seed=seed).replace(
+    configs = [
+        base_config(seed=seed).replace(
             algorithm=algorithm,
             error_rate=0.0,
             reconfiguration_interval=interval,
         )
-        run = run_scenario(config)
-        runs.append(run)
-        rates.append(run.delivery_rate)
+        for algorithm in algorithms
+    ]
+    runs = map_scenarios(configs, jobs=jobs)
+    minima = []
+    for config, run in zip(configs, runs):
         window = run.series.clipped(
             config.measure_start, config.effective_measure_end
         )
         minima.append(window.min_value())
-    result.curves["delivery_rate"] = rates
+    result.curves["delivery_rate"] = [run.delivery_rate for run in runs]
     result.curves["worst_bin"] = minima
     result.results["delivery_rate"] = runs
     return result
@@ -272,6 +280,7 @@ def fig4_buffer_sweep(
     algorithms: Sequence[str] = DELIVERY_ALGORITHMS,
     paper_betas: Sequence[int] = (500, 1000, 1500, 2500, 4000),
     seed: int = 42,
+    jobs=None,
 ) -> ExperimentResult:
     """Delivery vs. buffer size β (paper sweeps 500..4000)."""
     base = base_config(seed=seed)
@@ -286,6 +295,7 @@ def fig4_buffer_sweep(
             buffer_size=equivalent_buffer(config, beta)
         ),
         _delivery,
+        jobs=jobs,
     )
 
 
@@ -293,6 +303,7 @@ def fig4_interval_sweep(
     algorithms: Sequence[str] = DELIVERY_ALGORITHMS,
     intervals: Sequence[float] = (0.01, 0.02, 0.03, 0.045, 0.055),
     seed: int = 42,
+    jobs=None,
 ) -> ExperimentResult:
     """Delivery vs. gossip interval T (paper sweeps 0.01..0.055 s)."""
     base = base_config(seed=seed)
@@ -305,6 +316,7 @@ def fig4_interval_sweep(
         lambda algorithm: base.replace(algorithm=algorithm),
         lambda config, interval: config.replace(gossip_interval=interval),
         _delivery,
+        jobs=jobs,
     )
 
 
@@ -315,6 +327,7 @@ def fig5_interval_buffer_grid(
     paper_betas: Sequence[int] = (500, 1500, 2500, 3500),
     intervals: Sequence[float] = (0.01, 0.02, 0.03, 0.045, 0.055),
     seed: int = 42,
+    jobs=None,
 ) -> ExperimentResult:
     """Combined pull: delivery vs T, one curve per β."""
     base = base_config(seed=seed).replace(algorithm="combined-pull")
@@ -324,15 +337,20 @@ def fig5_interval_buffer_grid(
         "T",
         list(intervals),
     )
+    cells = [
+        (beta, base.replace(
+            buffer_size=equivalent_buffer(base, beta), gossip_interval=interval
+        ))
+        for beta in paper_betas
+        for interval in intervals
+    ]
+    run_results = map_scenarios([config for _, config in cells], jobs=jobs)
     for beta in paper_betas:
-        config_beta = base.replace(buffer_size=equivalent_buffer(base, beta))
-        curve = []
-        runs = []
-        for interval in intervals:
-            run = run_scenario(config_beta.replace(gossip_interval=interval))
-            runs.append(run)
-            curve.append(run.delivery_rate)
-        result.curves[f"beta={beta}"] = curve
+        runs = [
+            run for (cell_beta, _), run in zip(cells, run_results)
+            if cell_beta == beta
+        ]
+        result.curves[f"beta={beta}"] = [run.delivery_rate for run in runs]
         result.results[f"beta={beta}"] = runs
     return result
 
@@ -344,6 +362,7 @@ def fig6_scalability(
     algorithms: Sequence[str] = DELIVERY_ALGORITHMS,
     sizes: Optional[Sequence[int]] = None,
     seed: int = 42,
+    jobs=None,
 ) -> ExperimentResult:
     """Delivery vs. N, with β scaled linearly so persistence stays ~4 s.
 
@@ -367,6 +386,7 @@ def fig6_scalability(
         lambda algorithm: base.replace(algorithm=algorithm),
         apply_n,
         _delivery,
+        jobs=jobs,
     )
 
 
@@ -376,6 +396,7 @@ def fig6_scalability(
 def fig7_receivers_per_event(
     pi_values: Sequence[int] = (1, 2, 5, 10, 15, 20, 25, 30),
     seed: int = 42,
+    jobs=None,
 ) -> ExperimentResult:
     """Mean number of dispatchers receiving one event as πmax grows.
 
@@ -403,13 +424,10 @@ def fig7_receivers_per_event(
         "pi_max",
         list(pi_values),
     )
-    curve = []
-    runs = []
-    for pi_max in pi_values:
-        run = run_scenario(base.replace(pi_max=pi_max))
-        runs.append(run)
-        curve.append(run.receivers_per_event)
-    result.curves["receivers"] = curve
+    runs = map_scenarios(
+        [base.replace(pi_max=pi_max) for pi_max in pi_values], jobs=jobs
+    )
+    result.curves["receivers"] = [run.receivers_per_event for run in runs]
     result.results["receivers"] = runs
     return result
 
@@ -423,6 +441,7 @@ def fig8_patterns_delivery(
     pi_values: Sequence[int] = (1, 2, 4, 6, 10, 16),
     seed: int = 42,
     paper_beta: Optional[int] = None,
+    jobs=None,
 ) -> ExperimentResult:
     """Delivery vs. πmax (paper: both charts derived with β = 4000).
 
@@ -455,6 +474,7 @@ def fig8_patterns_delivery(
         lambda algorithm: base.replace(algorithm=algorithm, buffer_size=beta),
         lambda config, pi_max: config.replace(pi_max=pi_max),
         _delivery,
+        jobs=jobs,
     )
 
 
@@ -465,6 +485,7 @@ def fig9a_overhead_scale(
     algorithms: Sequence[str] = OVERHEAD_ALGORITHMS,
     sizes: Optional[Sequence[int]] = None,
     seed: int = 42,
+    jobs=None,
 ) -> ExperimentResult:
     """Gossip msgs/dispatcher (absolute) and gossip/event ratio vs N."""
     if sizes is None:
@@ -478,17 +499,23 @@ def fig9a_overhead_scale(
     result = ExperimentResult(
         "Fig9a", "overhead vs system size", "N", list(sizes)
     )
+    cells = [
+        (algorithm, apply_n(base.replace(algorithm=algorithm), n))
+        for algorithm in algorithms
+        for n in sizes
+    ]
+    run_results = map_scenarios([config for _, config in cells], jobs=jobs)
     for algorithm in algorithms:
-        absolute = []
-        ratio = []
-        runs = []
-        for n in sizes:
-            run = run_scenario(apply_n(base.replace(algorithm=algorithm), n))
-            runs.append(run)
-            absolute.append(run.gossip_per_dispatcher)
-            ratio.append(run.gossip_event_ratio)
-        result.curves[f"{algorithm}:msgs/disp"] = absolute
-        result.curves[f"{algorithm}:ratio"] = ratio
+        runs = [
+            run for (cell_algo, _), run in zip(cells, run_results)
+            if cell_algo == algorithm
+        ]
+        result.curves[f"{algorithm}:msgs/disp"] = [
+            run.gossip_per_dispatcher for run in runs
+        ]
+        result.curves[f"{algorithm}:ratio"] = [
+            run.gossip_event_ratio for run in runs
+        ]
         result.results[algorithm] = runs
     return result
 
@@ -497,6 +524,7 @@ def fig9b_overhead_patterns(
     algorithms: Sequence[str] = OVERHEAD_ALGORITHMS,
     pi_values: Sequence[int] = (1, 2, 5, 10, 20, 30),
     seed: int = 42,
+    jobs=None,
 ) -> ExperimentResult:
     """Gossip msgs/dispatcher and gossip/event ratio vs πmax."""
     base = base_config(seed=seed)
@@ -504,20 +532,25 @@ def fig9b_overhead_patterns(
     result = ExperimentResult(
         "Fig9b", "overhead vs subscriptions per dispatcher", "pi_max", list(pi_values)
     )
+    cells = [
+        (algorithm, base.replace(
+            algorithm=algorithm, pi_max=pi_max, buffer_size=beta
+        ))
+        for algorithm in algorithms
+        for pi_max in pi_values
+    ]
+    run_results = map_scenarios([config for _, config in cells], jobs=jobs)
     for algorithm in algorithms:
-        absolute = []
-        ratio = []
-        runs = []
-        for pi_max in pi_values:
-            config = base.replace(
-                algorithm=algorithm, pi_max=pi_max, buffer_size=beta
-            )
-            run = run_scenario(config)
-            runs.append(run)
-            absolute.append(run.gossip_per_dispatcher)
-            ratio.append(run.gossip_event_ratio)
-        result.curves[f"{algorithm}:msgs/disp"] = absolute
-        result.curves[f"{algorithm}:ratio"] = ratio
+        runs = [
+            run for (cell_algo, _), run in zip(cells, run_results)
+            if cell_algo == algorithm
+        ]
+        result.curves[f"{algorithm}:msgs/disp"] = [
+            run.gossip_per_dispatcher for run in runs
+        ]
+        result.curves[f"{algorithm}:ratio"] = [
+            run.gossip_event_ratio for run in runs
+        ]
         result.results[algorithm] = runs
     return result
 
@@ -530,6 +563,7 @@ def fig10_overhead_error_rate(
     algorithms: Sequence[str] = OVERHEAD_ALGORITHMS,
     error_rates: Sequence[float] = (0.01, 0.03, 0.05, 0.08, 0.1),
     seed: int = 42,
+    jobs=None,
 ) -> ExperimentResult:
     """Gossip msgs/dispatcher vs ε.
 
@@ -547,4 +581,5 @@ def fig10_overhead_error_rate(
         lambda algorithm: base.replace(algorithm=algorithm),
         lambda config, eps: config.replace(error_rate=eps),
         lambda run: run.gossip_per_dispatcher,
+        jobs=jobs,
     )

@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
+from repro.parallel import map_scenarios
+from repro.parallel.executor import JobsSpec
 from repro.scenarios.config import SimulationConfig
 from repro.scenarios.results import RunResult
-from repro.scenarios.runner import run_scenario
 
 __all__ = ["ReplicationSummary", "run_replications", "summarize"]
 
@@ -81,18 +82,26 @@ def summarize(metric: str, values: Sequence[float]) -> ReplicationSummary:
 def run_replications(
     config: SimulationConfig,
     seeds: Sequence[int],
-    metric: Callable[[RunResult], float] = lambda run: run.delivery_rate,
+    metric: Optional[Callable[[RunResult], float]] = lambda run: run.delivery_rate,
     metric_name: str = "delivery_rate",
-) -> ReplicationSummary:
+    jobs: JobsSpec = None,
+) -> Union[ReplicationSummary, List[RunResult]]:
     """Run ``config`` once per seed and summarize ``metric``.
 
     Every other parameter -- topology style, workload rates, algorithm --
     is held fixed; only the master seed (and hence every random stream)
-    changes.
+    changes.  ``jobs`` fans the seeds over worker processes (see
+    :mod:`repro.parallel`).
+
+    Pass ``metric=None`` to get the full per-seed :class:`RunResult` list
+    (seed order) instead of a one-metric summary -- useful when several
+    metrics should be summarized from a single set of runs.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    values: List[float] = []
-    for seed in seeds:
-        values.append(metric(run_scenario(config.replace(seed=seed))))
-    return summarize(metric_name, values)
+    results = map_scenarios(
+        [config.replace(seed=seed) for seed in seeds], jobs=jobs
+    )
+    if metric is None:
+        return results
+    return summarize(metric_name, [metric(result) for result in results])

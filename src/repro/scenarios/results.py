@@ -70,6 +70,52 @@ class RunResult:
     def baseline_rate(self) -> float:
         return self.delivery.baseline_rate
 
+    def signature(self) -> tuple:
+        """Hashable snapshot of every deterministic field.
+
+        Two runs of the same config must produce equal signatures no
+        matter which process (or machine) executed them; only
+        ``wall_clock_seconds`` is excluded.  The parallel-determinism
+        tests compare serial and fanned-out runs with this.
+        """
+        gossip = self.gossip_stats
+        return (
+            self.config,
+            self.delivery,
+            self.delivery_full,
+            (tuple(self.series.times), tuple(self.series.values)),
+            (
+                tuple(self.series_baseline.times),
+                tuple(self.series_baseline.values),
+            ),
+            tuple(sorted(self.messages.items())),
+            self.gossip_per_dispatcher,
+            self.gossip_event_ratio,
+            self.oob_messages,
+            self.recovery_load_skew,
+            (
+                gossip.rounds,
+                gossip.rounds_skipped,
+                gossip.gossip_sent,
+                gossip.gossip_handled,
+                gossip.requests_sent,
+                gossip.requests_served,
+                gossip.retransmissions_sent,
+                gossip.cache_short_circuits,
+            ),
+            self.losses_detected,
+            self.losses_recovered,
+            self.losses_abandoned,
+            self.receivers_per_event,
+            self.tree_diameter,
+            self.tree_average_path_length,
+            self.reconfigurations,
+            self.events_published,
+            self.sim_events_processed,
+            self.unexpected_deliveries,
+            self.duplicate_deliveries,
+        )
+
     def summary_row(self) -> Dict[str, float]:
         """Compact dictionary for tables and EXPERIMENTS.md."""
         return {

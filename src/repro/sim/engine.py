@@ -10,12 +10,22 @@ Events are ordered by ``(time, sequence_number)`` where the sequence number
 is a monotonically increasing insertion counter.  Two events scheduled for
 the same instant therefore fire in the order they were scheduled, which makes
 whole simulations reproducible bit-for-bit given a seed.
+
+Performance
+-----------
+The calendar is a binary heap of ``(time, seq, event)`` tuples rather than
+of the :class:`ScheduledEvent` handles themselves: the sequence number is
+unique, so heap comparisons never reach the third element and run entirely
+in C instead of calling a Python ``__lt__``.  Cancellation stays lazy
+(O(1)), but the simulator counts cancelled entries and compacts the heap
+when they outnumber the live ones, which bounds the calendar size under
+timer-heavy workloads that cancel most of what they schedule.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
 
@@ -37,7 +47,7 @@ class ScheduledEvent:
     is skipped when popped, which keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -45,20 +55,28 @@ class ScheduledEvent:
         seq: int,
         callback: Callable[..., Any],
         args: tuple,
+        sim: "Optional[Simulator]" = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references eagerly so cancelled events do not pin large
         # payloads (e.g. message objects) in memory until they are popped.
         self.callback = _noop
         self.args = ()
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         if self.time != other.time:
@@ -72,6 +90,18 @@ class ScheduledEvent:
 
 def _noop(*_args: Any) -> None:
     """Placeholder callback installed by :meth:`ScheduledEvent.cancel`."""
+
+
+#: Heap entry: ``(time, seq, handle)`` for cancellable schedules, or
+#: ``(time, seq, callback, args)`` for fire-and-forget ones (see
+#: :meth:`Simulator.schedule_call`).  ``seq`` is unique, so tuple comparison
+#: never falls through to the third element, and the two shapes are told
+#: apart by length.
+_Entry = Tuple[Any, ...]
+
+#: Compaction only kicks in above this queue size: tiny heaps are cheap to
+#: scan anyway and constant churn would dominate.
+_COMPACT_MIN_SIZE = 64
 
 
 class Simulator:
@@ -97,12 +127,13 @@ class Simulator:
     """
 
     def __init__(self, strict: bool = True) -> None:
-        self._queue: list[ScheduledEvent] = []
+        self._queue: List[_Entry] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._running: bool = False
         self._stopped: bool = False
         self._processed: int = 0
+        self._cancelled: int = 0
         self._strict = strict
 
     # ------------------------------------------------------------------
@@ -123,6 +154,11 @@ class Simulator:
         """Number of events still in the calendar (including cancelled)."""
         return len(self._queue)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries still occupying the calendar."""
+        return self._cancelled
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -133,7 +169,20 @@ class Simulator:
 
         Returns a :class:`ScheduledEvent` handle that can be cancelled.
         """
-        return self.schedule_at(self._now + delay, callback, *args)
+        # Body of schedule_at inlined: this is the hottest scheduling entry
+        # point and the extra frame is measurable at millions of calls.
+        time = self._now + delay
+        if time < self._now:
+            if self._strict:
+                raise SimulationError(
+                    f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
+                )
+            time = self._now
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, seq, callback, args, self)
+        heapq.heappush(self._queue, (time, seq, event))
+        return event
 
     def schedule_at(
         self, time: float, callback: Callable[..., Any], *args: Any
@@ -145,10 +194,70 @@ class Simulator:
                     f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
                 )
             time = self._now
-        event = ScheduledEvent(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, seq, callback, args, self)
+        heapq.heappush(self._queue, (time, seq, event))
         return event
+
+    def schedule_call(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        """Fire-and-forget ``schedule``: no cancellable handle is created.
+
+        Meant for high-volume schedules that are never cancelled (e.g. link
+        deliveries): the calendar stores a bare ``(time, seq, callback,
+        args)`` tuple, skipping the :class:`ScheduledEvent` allocation.
+        Ordering semantics are identical to :meth:`schedule`.
+        """
+        time = self._now + delay
+        if time < self._now:
+            if self._strict:
+                raise SimulationError(
+                    f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
+                )
+            time = self._now
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, callback, args))
+
+    def schedule_call_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`schedule_call`)."""
+        if time < self._now:
+            if self._strict:
+                raise SimulationError(
+                    f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
+                )
+            time = self._now
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, callback, args))
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`ScheduledEvent.cancel`; compacts the calendar
+        when cancelled entries outnumber live ones."""
+        self._cancelled += 1
+        if (
+            len(self._queue) > _COMPACT_MIN_SIZE
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries (in place, so a
+        ``run`` loop holding a reference to the list keeps working)."""
+        self._queue[:] = [
+            entry
+            for entry in self._queue
+            if len(entry) == 4 or not entry[2].cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Running
@@ -171,19 +280,34 @@ class Simulator:
         self._running = True
         self._stopped = False
         queue = self._queue
+        heappop = heapq.heappop
         budget = max_events if max_events is not None else -1
+        # float('inf') compares false against every event time, letting the
+        # loop skip the horizon branch without re-testing ``until is None``.
+        horizon = until if until is not None else float("inf")
+        # The processed counter is kept in a local and flushed on exit;
+        # nothing observes it mid-run (it is only read after run() returns).
+        processed = self._processed
         try:
             while queue and not self._stopped:
-                event = queue[0]
-                if until is not None and event.time > until:
+                entry = queue[0]
+                time = entry[0]
+                if time > horizon:
                     self._now = until
                     break
-                heapq.heappop(queue)
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                event.callback(*event.args)
-                self._processed += 1
+                heappop(queue)
+                if len(entry) == 4:
+                    # Fire-and-forget entry: (time, seq, callback, args).
+                    self._now = time
+                    entry[2](*entry[3])
+                else:
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    self._now = time
+                    event.callback(*event.args)
+                processed += 1
                 if budget > 0:
                     budget -= 1
                     if budget == 0:
@@ -192,6 +316,7 @@ class Simulator:
                 if until is not None and not self._stopped and self._now < until:
                     self._now = until
         finally:
+            self._processed = processed
             self._running = False
 
     def step(self) -> bool:
@@ -201,10 +326,17 @@ class Simulator:
         is empty.  Cancelled entries are skipped transparently.
         """
         while self._queue:
-            event = heapq.heappop(self._queue)
+            entry = heapq.heappop(self._queue)
+            if len(entry) == 4:
+                self._now = entry[0]
+                entry[2](*entry[3])
+                self._processed += 1
+                return True
+            event = entry[2]
             if event.cancelled:
+                self._cancelled -= 1
                 continue
-            self._now = event.time
+            self._now = entry[0]
             event.callback(*event.args)
             self._processed += 1
             return True
@@ -216,15 +348,19 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next non-cancelled event, or ``None`` if drained."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if self._queue:
-            return self._queue[0].time
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if len(head) == 4 or not head[2].cancelled:
+                return head[0]
+            heapq.heappop(queue)
+            self._cancelled -= 1
         return None
 
     def clear(self) -> None:
         """Drop every pending event.  The clock is left unchanged."""
         self._queue.clear()
+        self._cancelled = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -8,7 +8,11 @@ from repro import cli
 from repro.scenarios.experiments import ExperimentResult
 
 
-def fake_result():
+seen_jobs = []
+
+
+def fake_result(jobs):
+    seen_jobs.append(jobs)
     return ExperimentResult(
         "FigFake",
         "a fake figure",
@@ -22,12 +26,18 @@ class TestFigureCommand:
     @pytest.fixture(autouse=True)
     def patch_figures(self, monkeypatch):
         monkeypatch.setitem(cli._FIGURES, "3a", fake_result)
+        seen_jobs.clear()
 
     def test_prints_table(self, capsys):
         assert cli.main(["figure", "3a"]) == 0
         out = capsys.readouterr().out
         assert "FigFake" in out
         assert "0.200" in out
+        assert seen_jobs == [1]
+
+    def test_jobs_flag_is_forwarded(self, capsys):
+        assert cli.main(["figure", "3a", "--jobs", "4"]) == 0
+        assert seen_jobs == [4]
 
     def test_chart_flag_adds_chart(self, capsys):
         assert cli.main(["figure", "3a", "--chart"]) == 0

@@ -1,0 +1,35 @@
+"""repro.parallel passes the determinism linter with no suppressions.
+
+The executor layer is exactly where nondeterminism would be easiest to
+smuggle in (wall clocks for timing, bare ``random`` for work shuffling),
+so it must hold the strictest bar: clean under ``repro.lint`` without any
+per-path disables and without inline ``repro-lint: disable`` comments.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.lint import lint_paths, load_config
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+PARALLEL = REPO_ROOT / "src" / "repro" / "parallel"
+
+
+def test_parallel_package_lints_clean():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    result = lint_paths([PARALLEL], config)
+    assert result.errors == []
+    assert result.findings == [], "\n".join(f.render() for f in result.findings)
+    assert result.files_checked >= 2
+
+
+def test_parallel_package_has_no_suppressions():
+    pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+    assert "parallel" not in pyproject.split("[tool.repro-lint]", 1)[1], (
+        "repro.parallel must not need per-path lint disables"
+    )
+    for source in PARALLEL.rglob("*.py"):
+        assert "repro-lint: disable" not in source.read_text(), (
+            f"{source} carries an inline lint suppression"
+        )

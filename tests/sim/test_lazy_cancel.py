@@ -1,0 +1,115 @@
+"""Lazy cancellation must not accumulate garbage without bound.
+
+Cancelled entries stay in the heap until compaction or pop-time skipping
+removes them.  A timer-heavy algorithm that reschedules (cancel + schedule)
+on every message would otherwise grow the calendar linearly with *traffic*
+rather than with live timers -- the regression these tests pin down.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+
+
+class TestCompaction:
+    def test_cancel_heavy_workload_keeps_pending_bounded(self):
+        """Repeatedly rescheduling one logical timer must not grow the heap."""
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        for i in range(10_000):
+            handle.cancel()
+            handle = sim.schedule(1.0 + i * 1e-4, lambda: None)
+            # Live timers: exactly one.  The heap may lag by the compaction
+            # hysteresis (cancelled entries may be up to half the queue,
+            # which itself must stay small), but never by the full history.
+            assert sim.pending <= 130
+        assert sim.pending - sim.cancelled_pending == 1
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        fired = []
+        keep = [sim.schedule(0.001 * i, fired.append, i) for i in range(200)]
+        doomed = [sim.schedule(0.5, fired.append, -1) for _ in range(1_000)]
+        for handle in doomed:
+            handle.cancel()
+        assert sim.cancelled_pending < 1_000  # compaction ran at least once
+        sim.run()
+        assert fired == list(range(200))
+
+    def test_small_queues_skip_compaction(self):
+        """Below the size threshold, lazy skipping at pop time is enough."""
+        sim = Simulator()
+        handles = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        # Queue is too small to compact eagerly; entries drain on run().
+        assert sim.cancelled_pending == 10
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 0
+
+
+class TestScheduleCall:
+    """Fire-and-forget entries share the calendar with cancellable ones."""
+
+    def test_schedule_call_fires_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_call(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "cancellable")
+        sim.schedule_call_at(0.5, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "cancellable", "late"]
+
+    def test_schedule_call_returns_no_handle(self):
+        sim = Simulator()
+        assert sim.schedule_call(1.0, lambda: None) is None
+        assert sim.schedule_call_at(2.0, lambda: None) is None
+
+    def test_schedule_call_rejects_past_times(self):
+        import pytest
+
+        from repro.sim.engine import SimulationError
+
+        sim = Simulator()
+        sim.schedule_call_at(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0
+        with pytest.raises(SimulationError):
+            sim.schedule_call(-0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_call_at(0.5, lambda: None)
+
+    def test_peek_sees_call_entries_and_skips_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(0.5, lambda: None)
+        sim.schedule_call(1.5, lambda: None)
+        handle.cancel()
+        assert sim.peek() == 1.5
+
+    def test_step_executes_call_entries(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_call(0.25, fired.append, 1)
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.now == 0.25
+        assert sim.step() is False
+
+    def test_compaction_keeps_call_entries(self):
+        sim = Simulator()
+        fired = []
+        for i in range(100):
+            sim.schedule_call(1.0 + 0.001 * i, fired.append, i)
+        doomed = [sim.schedule(2.0, fired.append, -1) for _ in range(500)]
+        for handle in doomed:
+            handle.cancel()
+        sim.run()
+        assert fired == list(range(100))
+
+    def test_events_processed_counts_call_entries(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_call(0.1 * (i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

@@ -53,6 +53,35 @@ class TestReadmePromises:
         assert "pytest benchmarks/ --benchmark-only" in README
 
 
+class TestPerformancePromises:
+    PERFORMANCE = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text()
+
+    def test_readme_links_performance_doc(self):
+        assert "docs/PERFORMANCE.md" in README
+
+    def test_documented_entry_points_exist(self):
+        from repro.parallel import map_scenarios  # noqa: F401 - doc promise
+        import inspect
+
+        from repro.scenarios.replication import run_replications
+        from repro.scenarios.sweep import sweep, sweep_algorithms
+
+        for fn in (sweep, sweep_algorithms, run_replications):
+            assert "jobs" in inspect.signature(fn).parameters, fn.__name__
+
+    def test_cli_jobs_flag_documented_and_real(self):
+        from repro.cli import build_parser
+
+        assert "--jobs" in self.PERFORMANCE
+        parser = build_parser()
+        args = parser.parse_args(["compare", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_record_script_exists(self):
+        assert (REPO_ROOT / "benchmarks" / "record.py").is_file()
+        assert "benchmarks/record.py" in self.PERFORMANCE
+
+
 class TestExperimentsPromises:
     def test_every_figure_bench_referenced(self):
         benches = sorted(

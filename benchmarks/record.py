@@ -34,7 +34,6 @@ import datetime as _datetime
 import json
 import os
 import platform
-import random
 import sys
 import time
 from pathlib import Path
@@ -47,6 +46,7 @@ from repro.pubsub.subscription import SubscriptionTable
 from repro.scenarios.builder import Simulation
 from repro.scenarios.config import SimulationConfig
 from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -56,7 +56,7 @@ SWEEP_ALGORITHMS = ("none", "push", "subscriber-pull", "combined-pull")
 
 
 def _make_events(count: int, n_patterns: int, seed: int) -> List[Event]:
-    rng = random.Random(seed)
+    rng = RandomStreams(seed).stream("bench-events")
     space = PatternSpace(n_patterns)
     events = []
     for i in range(count):
@@ -126,7 +126,7 @@ def bench_cache_churn(quick: bool) -> Dict[str, float]:
 
 
 def _populated_table(seed: int = 3) -> SubscriptionTable:
-    rng = random.Random(seed)
+    rng = RandomStreams(seed).stream("bench-table")
     table = SubscriptionTable()
     for pattern in range(70):
         for direction in rng.sample(range(4), rng.randint(1, 3)):
@@ -137,7 +137,7 @@ def _populated_table(seed: int = 3) -> SubscriptionTable:
 def bench_table_matching(quick: bool) -> Dict[str, float]:
     """Matching over event contents that repeat heavily, as they do within
     a run -- the workload the memo cache (if present) is built for."""
-    rng = random.Random(5)
+    rng = RandomStreams(5).stream("bench-match")
     space = PatternSpace(70)
     distinct = [space.sample_event_patterns(rng) for _ in range(200)]
     rounds = 5 if quick else 50

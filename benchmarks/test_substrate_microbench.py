@@ -7,13 +7,12 @@ repeated rounds -- useful when optimizing the simulator itself.
 
 from __future__ import annotations
 
-import random
-
 from repro.pubsub.cache import EventCache
 from repro.pubsub.pattern import PatternSpace
 from repro.scenarios.builder import Simulation
 from repro.scenarios.config import SimulationConfig
 from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
 from repro.topology.generator import bushy_tree
 from tests.conftest import make_event
 
@@ -90,7 +89,7 @@ def test_event_publish_routing(benchmark):
 
 
 def test_tree_generation(benchmark):
-    rng = random.Random(7)
+    rng = RandomStreams(7).stream("bench-tree")
 
     def build():
         return bushy_tree(200, rng, max_degree=4)
@@ -103,7 +102,7 @@ def test_matching_throughput(benchmark):
     """Subscription-table matching over a realistic table."""
     from repro.pubsub.subscription import SubscriptionTable
 
-    rng = random.Random(3)
+    rng = RandomStreams(3).stream("bench-match")
     space = PatternSpace(70)
     table = SubscriptionTable()
     for pattern in range(70):
@@ -131,7 +130,7 @@ def test_matching_memo_throughput(benchmark):
     """
     from repro.pubsub.subscription import SubscriptionTable
 
-    rng = random.Random(3)
+    rng = RandomStreams(3).stream("bench-memo")
     space = PatternSpace(70)
     table = SubscriptionTable()
     for pattern in range(70):

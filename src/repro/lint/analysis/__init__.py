@@ -1,0 +1,27 @@
+"""Whole-program analysis for the REP100–REP105 rule family.
+
+Layered below :mod:`repro.lint.cli`:
+
+* :mod:`~repro.lint.analysis.model` — project symbol table: modules,
+  import-alias resolution (absolute + relative), classes with linearized
+  ancestry, functions with call arities, re-export chasing.
+* :mod:`~repro.lint.analysis.dataflow` — intraprocedural facts: local
+  alias maps, self-attribute reads/mutations, and the per-path
+  mutated-vs-invalidated abstract interpretation behind REP100.
+* :mod:`~repro.lint.analysis.rules` — the six cross-module rules.
+* :mod:`~repro.lint.analysis.engine` — orchestration + suppression/config
+  filtering, producing ordinary :class:`~repro.lint.findings.Finding`\\ s.
+"""
+
+from .engine import run_analysis
+from .model import Project, build_project
+from .rules import ANALYSIS_RULES, analysis_codes, analysis_rules_by_code
+
+__all__ = [
+    "run_analysis",
+    "Project",
+    "build_project",
+    "ANALYSIS_RULES",
+    "analysis_codes",
+    "analysis_rules_by_code",
+]

@@ -1,0 +1,332 @@
+"""Light intraprocedural dataflow over one function body.
+
+Three facts power the REP100/REP101 checks, and all three are computed here:
+
+* **Self-attribute effects** — which ``self.<attr>`` slots a method reads
+  and which it mutates, *including mutations through local aliases*
+  (``directions = self._directions.get(p); directions.discard(d)`` counts
+  as a mutation of ``_directions``).
+* **Invalidate-path analysis** — a tiny abstract interpreter over the
+  statement tree tracking, per execution path, whether backing state was
+  mutated and whether ``_invalidate`` was (or is guaranteed to be) called.
+  Branches fork the state set; loops are approximated as zero-or-one
+  executions; ``return``/``raise`` terminate a path.
+* **Escape tracking** — the statement position at which a local value is
+  handed to a send/schedule call, so REP101 can flag mutations that happen
+  *after* the value escaped.
+
+Everything is deliberately conservative-but-shallow: false positives are
+possible (that is what inline suppression is for), and nested function
+bodies are not entered.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "MUTATING_METHODS",
+    "AliasMap",
+    "build_alias_map",
+    "self_attr_reads",
+    "mutated_self_attrs",
+    "mutation_nodes",
+    "InvalidatePaths",
+]
+
+#: Method names that mutate their receiver in place (dict/set/list/deque).
+MUTATING_METHODS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "extendleft", "insert", "pop", "popitem", "remove", "setdefault",
+        "sort", "reverse", "update", "difference_update",
+        "intersection_update", "symmetric_difference_update",
+    }
+)
+
+#: Accessor methods whose return value aliases (part of) the receiver.
+_ALIASING_ACCESSORS = frozenset(
+    {"get", "setdefault", "pop", "items", "values", "keys"}
+)
+
+AliasMap = Dict[str, FrozenSet[str]]
+
+
+def _self_attr_of(node: ast.expr) -> Optional[str]:
+    """``self.X`` → ``"X"``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _alias_origins(node: ast.expr, aliases: AliasMap) -> FrozenSet[str]:
+    """The self-attributes a value expression aliases, if any.
+
+    Recognized shapes (``E`` standing for a recognized expression):
+    ``self.A``, ``E[k]``, ``E.get(...)/setdefault(...)/pop(...)/items()/
+    values()/keys()``, and plain local names that are themselves aliases.
+    """
+    attr = _self_attr_of(node)
+    if attr is not None:
+        return frozenset((attr,))
+    if isinstance(node, ast.Name):
+        return aliases.get(node.id, frozenset())
+    if isinstance(node, ast.Subscript):
+        return _alias_origins(node.value, aliases)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _ALIASING_ACCESSORS:
+            return _alias_origins(func.value, aliases)
+    return frozenset()
+
+
+def _bind_targets(
+    targets: Sequence[ast.expr], origins: FrozenSet[str], aliases: AliasMap
+) -> None:
+    for target in targets:
+        if isinstance(target, ast.Name):
+            if origins:
+                aliases[target.id] = origins
+            else:
+                aliases.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            _bind_targets(target.elts, origins, aliases)
+
+
+def build_alias_map(func: ast.AST) -> AliasMap:
+    """Map local names to the ``self`` attributes they alias.
+
+    Flow-insensitive fixpoint: chains like ``d = self._directions;
+    x = d.get(k)`` converge in as many rounds as the chain is long.
+    """
+    aliases: AliasMap = {}
+    for _ in range(8):
+        before = dict(aliases)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                _bind_targets(
+                    node.targets, _alias_origins(node.value, aliases), aliases
+                )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                _bind_targets(
+                    [node.target], _alias_origins(node.value, aliases), aliases
+                )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                _bind_targets(
+                    [node.target], _alias_origins(node.iter, aliases), aliases
+                )
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                _bind_targets(
+                    [node.optional_vars],
+                    _alias_origins(node.context_expr, aliases),
+                    aliases,
+                )
+        if aliases == before:
+            break
+    return aliases
+
+
+def self_attr_reads(func: ast.AST) -> Set[str]:
+    """Every ``self.X`` read (Load context) in the function body."""
+    reads: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            attr = _self_attr_of(node)
+            if attr is not None:
+                reads.add(attr)
+    return reads
+
+
+def _mutation_targets(node: ast.AST, aliases: AliasMap) -> FrozenSet[str]:
+    """Self-attributes mutated by one statement-level AST node."""
+    hit: Set[str] = set()
+
+    def target_attrs(target: ast.expr) -> FrozenSet[str]:
+        # self.A = ..., self.A[k] = ..., alias[k] = ..., alias.attr = ...
+        attr = _self_attr_of(target)
+        if attr is not None:
+            return frozenset((attr,))
+        if isinstance(target, ast.Subscript):
+            return _alias_origins(target.value, aliases)
+        if isinstance(target, ast.Attribute):
+            return _alias_origins(target.value, aliases)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out: Set[str] = set()
+            for element in target.elts:
+                out |= target_attrs(element)
+            return frozenset(out)
+        return frozenset()
+
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            hit |= target_attrs(target)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        if not (isinstance(node, ast.AnnAssign) and node.value is None):
+            hit |= target_attrs(node.target)
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            attr = _self_attr_of(target)
+            if attr is not None:
+                hit.add(attr)
+            elif isinstance(target, ast.Subscript):
+                hit |= _alias_origins(target.value, aliases)
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+            hit |= _alias_origins(func.value, aliases)
+    return frozenset(hit)
+
+
+def mutation_nodes(
+    func: ast.AST, aliases: AliasMap
+) -> List[Tuple[ast.AST, FrozenSet[str]]]:
+    """All (node, mutated-self-attrs) pairs in the body, in source order."""
+    out: List[Tuple[ast.AST, FrozenSet[str]]] = []
+    for node in ast.walk(func):
+        attrs = _mutation_targets(node, aliases)
+        if attrs:
+            out.append((node, attrs))
+    out.sort(key=lambda pair: (
+        getattr(pair[0], "lineno", 0), getattr(pair[0], "col_offset", 0)
+    ))
+    return out
+
+
+def mutated_self_attrs(func: ast.AST, aliases: Optional[AliasMap] = None) -> Set[str]:
+    """Union of self-attributes the function mutates anywhere."""
+    if aliases is None:
+        aliases = build_alias_map(func)
+    mutated: Set[str] = set()
+    for _, attrs in mutation_nodes(func, aliases):
+        mutated |= attrs
+    return mutated
+
+
+# ----------------------------------------------------------------------
+# Invalidate-path analysis (REP100)
+# ----------------------------------------------------------------------
+
+#: One abstract path state: (mutated backing state?, invalidated?).
+_State = Tuple[bool, bool]
+
+
+class InvalidatePaths:
+    """Per-path "mutated vs. invalidated" analysis of one method body.
+
+    ``tracked`` is the set of backing attributes whose mutation requires
+    invalidation; ``invalidating_names`` the method names (on ``self``)
+    whose call guarantees invalidation on every path.  After :meth:`run`,
+    :attr:`violating` is True iff some execution path mutates backing state
+    and reaches an exit without invalidating, and :attr:`first_mutation`
+    points at the offending mutation site.
+    """
+
+    def __init__(
+        self,
+        func: ast.AST,
+        tracked: Set[str],
+        invalidating_names: Set[str],
+        aliases: Optional[AliasMap] = None,
+    ) -> None:
+        self.func = func
+        self.tracked = tracked
+        self.invalidating_names = invalidating_names
+        self.aliases = aliases if aliases is not None else build_alias_map(func)
+        self.exit_states: Set[_State] = set()
+        self.first_mutation: Optional[ast.AST] = None
+
+    # -- effects of a single statement/expression ----------------------
+    def _effects(self, node: ast.AST, states: Set[_State]) -> Set[_State]:
+        mutated = False
+        invalidated = False
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and func.attr in self.invalidating_names
+                ):
+                    invalidated = True
+            attrs = _mutation_targets(sub, self.aliases)
+            if attrs & self.tracked:
+                mutated = True
+                if self.first_mutation is None:
+                    self.first_mutation = sub
+        if not mutated and not invalidated:
+            return states
+        return {
+            (m or mutated, i or invalidated) for (m, i) in states
+        }
+
+    # -- statement walk -------------------------------------------------
+    def _stmts(self, body: Sequence[ast.stmt], states: Set[_State]) -> Set[_State]:
+        for stmt in body:
+            if not states:
+                break
+            states = self._stmt(stmt, states)
+        return states
+
+    def _stmt(self, stmt: ast.stmt, states: Set[_State]) -> Set[_State]:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            states = self._effects(stmt, states)
+            self.exit_states |= states
+            return set()
+        if isinstance(stmt, ast.If):
+            states = self._effects(stmt.test, states)
+            return self._stmts(stmt.body, set(states)) | self._stmts(
+                stmt.orelse, set(states)
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            states = self._effects(stmt.iter, states)
+            once = self._stmts(stmt.body, set(states))
+            after = states | once
+            return after | self._stmts(stmt.orelse, set(after))
+        if isinstance(stmt, ast.While):
+            states = self._effects(stmt.test, states)
+            once = self._stmts(stmt.body, set(states))
+            after = states | once
+            return after | self._stmts(stmt.orelse, set(after))
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                states = self._effects(item, states)
+            return self._stmts(stmt.body, states)
+        if isinstance(stmt, ast.Try):
+            after_body = self._stmts(stmt.body, set(states))
+            merged = states | after_body
+            out = self._stmts(stmt.orelse, set(after_body)) or after_body
+            for handler in stmt.handlers:
+                out = out | self._stmts(handler.body, set(merged))
+            if stmt.finalbody:
+                out = self._stmts(stmt.finalbody, out)
+            return out
+        if isinstance(stmt, ast.Match):
+            matched: Set[_State] = set()
+            subject = self._effects(stmt.subject, states)
+            for case in stmt.cases:
+                matched |= self._stmts(case.body, set(subject))
+            return matched | subject  # no case may match
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return states  # nested bodies are not entered
+        return self._effects(stmt, states)
+
+    def run(self) -> "InvalidatePaths":
+        body = getattr(self.func, "body", [])
+        states = self._stmts(body, {(False, False)})
+        self.exit_states |= states  # falling off the end is an exit
+        return self
+
+    @property
+    def violating(self) -> bool:
+        return any(m and not i for (m, i) in self.exit_states)
+
+    @property
+    def always_invalidates(self) -> bool:
+        """True iff every exit path has called an invalidating method."""
+        return bool(self.exit_states) and all(i for (_, i) in self.exit_states)

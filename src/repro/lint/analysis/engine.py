@@ -1,0 +1,67 @@
+"""Orchestration: run the whole-program rules over a set of files.
+
+:func:`run_analysis` takes the same ``(path, rel_path)`` pairs the per-file
+walker lints, builds one :class:`~repro.lint.analysis.model.Project` over all
+of them, runs every enabled REP1xx rule, and filters the raw findings
+through the same per-path configuration and inline-suppression machinery as
+the per-file rules — a ``# repro-lint: disable=REP101`` comment works
+identically for both families.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+from ..findings import Finding
+from ..suppress import SuppressionMap, parse_suppressions
+from .model import ModuleInfo, Project, build_project
+from .rules import ANALYSIS_RULES, analysis_codes
+
+__all__ = ["run_analysis"]
+
+#: rel-path → enabled rule codes for that file (the CLI passes a closure
+#: over the loaded LintConfig).
+EnabledFn = Callable[[str], Set[str]]
+
+
+def run_analysis(
+    files: Sequence[Tuple[Path, str]], enabled_for: EnabledFn
+) -> List[Finding]:
+    """Run REP100–REP105 over ``files`` and return suppression-filtered
+    findings sorted in the standard order."""
+    project = build_project(files)
+    raw: List[Tuple[ModuleInfo, ast.AST, str, str]] = []
+
+    def add(module: ModuleInfo, node: ast.AST, code: str, message: str) -> None:
+        raw.append((module, node, code, message))
+
+    wanted = set(analysis_codes())
+    for rule in ANALYSIS_RULES:
+        rule.run(project, add)
+
+    suppression_cache: Dict[str, SuppressionMap] = {}
+    findings: List[Finding] = []
+    for module, node, code, message in raw:
+        if code not in wanted or code not in enabled_for(module.rel):
+            continue
+        suppressions = suppression_cache.get(module.rel)
+        if suppressions is None:
+            suppressions = parse_suppressions(module.source, module.tree)
+            suppression_cache[module.rel] = suppressions
+        line = getattr(node, "lineno", 0)
+        end_line = getattr(node, "end_lineno", None) or line
+        if suppressions.is_suppressed_span(code, line, end_line):
+            continue
+        findings.append(
+            Finding(
+                path=module.rel,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+            )
+        )
+    findings.sort()
+    return findings

@@ -5,9 +5,15 @@
     python -m repro.lint src benchmarks
     repro-lint --format=json src
     repro-lint --select REP001,REP002 --isolated tests/lint/fixtures
+    repro-lint --analysis src benchmarks examples   # + whole-program REP1xx
+    repro-lint --analysis --format=sarif src > lint.sarif
 
 Exit status: **0** clean, **1** findings, **2** errors (unreadable or
 syntactically-invalid files, bad arguments).
+
+The whole-program analysis (REP100–REP105) runs when ``--analysis`` is
+given, when ``analysis = true`` is set in ``[tool.repro-lint]``, or when a
+REP1xx code is explicitly selected; ``--no-analysis`` always wins.
 """
 
 from __future__ import annotations
@@ -17,9 +23,11 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Set, Tuple
 
+from .analysis import analysis_codes, run_analysis
+from .analysis.rules import ANALYSIS_RULES
 from .config import LintConfig, config_for_paths, load_config
 from .findings import Finding, LintError
-from .report import render_json, render_text
+from .report import render_json, render_sarif, render_text
 from .rules import RULES, all_codes
 from .walker import lint_file
 
@@ -80,15 +88,23 @@ def lint_paths(
     isolated: bool = False,
     select: Sequence[str] = (),
     ignore: Sequence[str] = (),
+    analysis: Optional[bool] = None,
 ) -> LintResult:
     """Programmatic front door: lint ``paths`` and aggregate the results.
 
     ``isolated`` skips pyproject discovery (fixtures and tests use this);
     ``select``/``ignore`` are applied on top of whatever the config enables.
+    ``analysis`` forces the whole-program REP1xx pass on (True) or off
+    (False); ``None`` defers to the config and to whether a REP1xx code was
+    selected.
     """
     paths = [Path(p) for p in paths]
     if config is None:
         config = LintConfig() if isolated else config_for_paths(paths)
+
+    rep1xx = set(analysis_codes())
+    if analysis is None:
+        analysis = config.analysis or bool(rep1xx & set(select))
 
     # A missing path is an error, but it must not hide findings from the
     # paths that do exist: lint those and aggregate both.
@@ -99,19 +115,26 @@ def lint_paths(
     ]
     paths = [p for p in paths if p.exists()]
 
-    codes = all_codes()
+    codes = all_codes() + analysis_codes()
     findings: List[Finding] = []
     files, warnings = _collect_files(paths, config)
-    for path in files:
-        rel = config.rel_path(path)
+
+    def enabled_for(rel: str) -> Set[str]:
         enabled = config.enabled_codes(rel, codes)
         if select:
             enabled &= set(select)
         enabled -= set(ignore)
-        file_findings, error = lint_file(path, rel, enabled)
+        return enabled
+
+    for path in files:
+        rel = config.rel_path(path)
+        file_findings, error = lint_file(path, rel, enabled_for(rel))
         findings.extend(file_findings)
         if error is not None:
             errors.append(error)
+    if analysis:
+        pairs = [(path, config.rel_path(path)) for path in files]
+        findings.extend(run_analysis(pairs, enabled_for))
     findings.sort()
     errors.sort()
     return LintResult(findings, errors, len(files), warnings)
@@ -128,13 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "AST-based determinism & protocol-invariant linter for the "
-            "epidemic pub-sub reproduction (rules REP001-REP006)"
+            "epidemic pub-sub reproduction (per-file rules REP001-REP006, "
+            "whole-program rules REP100-REP105 via --analysis)"
         ),
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="output format (default: text)",
     )
@@ -142,6 +166,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         metavar="CODES",
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="CODES",
+        help="alias for --select (merged with it)",
+    )
+    analysis_group = parser.add_mutually_exclusive_group()
+    analysis_group.add_argument(
+        "--analysis",
+        action="store_true",
+        help="run the whole-program REP100-REP105 analysis too",
+    )
+    analysis_group.add_argument(
+        "--no-analysis",
+        action="store_true",
+        help="never run the whole-program analysis (overrides config)",
     )
     parser.add_argument(
         "--ignore",
@@ -171,21 +211,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in RULES:
+        for rule in (*RULES, *ANALYSIS_RULES):
             print(f"{rule.code}  {rule.name}: {rule.summary}")
         return 0
 
     if not args.paths:
         parser.error("no paths given (try: repro-lint src benchmarks)")
 
-    select = _parse_codes(args.select)
+    select = _parse_codes(args.select) + _parse_codes(args.rules)
     ignore = _parse_codes(args.ignore)
-    unknown = [c for c in (*select, *ignore) if c not in all_codes()]
+    known = all_codes() + analysis_codes()
+    unknown = [c for c in (*select, *ignore) if c not in known]
     if unknown:
         parser.error(
             f"unknown rule code(s): {', '.join(unknown)} "
-            f"(known: {', '.join(all_codes())})"
+            f"(known: {', '.join(known)})"
         )
+    analysis: Optional[bool] = None
+    if args.no_analysis:
+        analysis = False
+    elif args.analysis:
+        analysis = True
 
     config: Optional[LintConfig] = None
     try:
@@ -204,6 +250,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             isolated=args.isolated,
             select=select,
             ignore=ignore,
+            analysis=analysis,
         )
     except RuntimeError as exc:  # no TOML parser on this interpreter
         print(f"error: {exc}", file=sys.stderr)
@@ -214,6 +261,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.format == "json":
         print(render_json(result.findings, result.errors, result.files_checked))
+    elif args.format == "sarif":
+        print(render_sarif(result.findings, result.errors, result.files_checked))
     else:
         print(render_text(result.findings, result.errors, result.files_checked))
     return result.exit_code

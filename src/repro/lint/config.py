@@ -6,6 +6,7 @@ Recognised keys::
     exclude = ["tests/lint/fixtures"]      # glob patterns or dir prefixes
     select  = ["REP001", "REP002"]         # only these rules (default: all)
     ignore  = ["REP006"]                   # drop these rules everywhere
+    analysis = true                        # whole-program REP1xx by default
 
     [[tool.repro-lint.per-path]]           # ordered, later entries win
     path = "src/repro/sim/rng.py"          # fnmatch pattern vs. posix rel path
@@ -57,6 +58,8 @@ class LintConfig:
     select: Tuple[str, ...] = ()
     ignore: Tuple[str, ...] = ()
     per_path: Tuple[PerPath, ...] = ()
+    #: run the whole-program REP1xx analysis by default (CLI flags win).
+    analysis: bool = False
 
     def rel_path(self, path: Path) -> str:
         """``path`` relative to the config root, in POSIX form.
@@ -130,6 +133,7 @@ def load_config(pyproject: Path) -> LintConfig:
         select=tuple(table.get("select", ())),
         ignore=tuple(table.get("ignore", ())),
         per_path=per_path,
+        analysis=bool(table.get("analysis", False)),
     )
 
 

@@ -13,14 +13,23 @@ comment:
 Omitting the ``=CODES`` part (``# repro-lint: disable``) suppresses every
 rule.  Suppressions are parsed from the token stream, so a ``repro-lint:``
 marker inside a string literal is ignored.
+
+Decorated definitions get one extra courtesy: some violations are attributed
+to a *decorator* line (the node of ``@lru_cache(maxsize=None)`` starts on
+the ``@`` line, not on ``def``), yet the natural place to write the
+directive is the ``def``/``class`` line itself.  When the parsed tree is
+supplied, decorator lines *redirect* to their definition line, so a
+``# repro-lint: disable=…`` on the ``def`` line also covers findings
+anchored on the decorators above it.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 __all__ = ["SuppressionMap", "parse_suppressions"]
 
@@ -36,6 +45,9 @@ class SuppressionMap:
     def __init__(self) -> None:
         self.by_line: Dict[int, Set[str]] = {}
         self.file_level: Set[str] = set()
+        #: decorator line → the ``def``/``class`` line it belongs to; a
+        #: directive on the definition line covers these lines too.
+        self.redirects: Dict[int, int] = {}
 
     def add_line(self, line: int, codes: Set[str]) -> None:
         self.by_line.setdefault(line, set()).update(codes)
@@ -53,6 +65,11 @@ class SuppressionMap:
         for line, codes in self.by_line.items():
             if start <= line <= end and (_ALL in codes or code in codes):
                 return True
+        for deco_line, def_line in self.redirects.items():
+            if start <= deco_line <= end:
+                codes = self.by_line.get(def_line, set())
+                if _ALL in codes or code in codes:
+                    return True
         return False
 
 
@@ -63,12 +80,18 @@ def _parse_codes(raw: "str | None") -> Set[str]:
     return codes or {_ALL}
 
 
-def parse_suppressions(source: str) -> SuppressionMap:
+def parse_suppressions(
+    source: str, tree: Optional[ast.AST] = None
+) -> SuppressionMap:
     """Extract suppression directives from ``source``.
 
     Tokenisation errors are swallowed: a file that does not tokenise will
     already be reported as a syntax error by the walker, and a best-effort
     (possibly empty) map is fine for it.
+
+    When ``tree`` is given, decorator lines of each decorated definition
+    are recorded as redirects to the ``def``/``class`` line, so a directive
+    on the definition line also suppresses decorator-anchored findings.
     """
     suppressions = SuppressionMap()
     try:
@@ -86,4 +109,13 @@ def parse_suppressions(source: str) -> SuppressionMap:
                 suppressions.add_line(token.start[0], codes)
     except tokenize.TokenError:
         pass
+    if tree is not None:
+        for node in ast.walk(tree):
+            decorators = getattr(node, "decorator_list", None)
+            if not decorators:
+                continue
+            def_line = node.lineno
+            first = min(d.lineno for d in decorators)
+            for line in range(first, def_line):
+                suppressions.redirects[line] = def_line
     return suppressions

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .findings import Finding, LintError
 from .rules import RULES, Rule
@@ -29,9 +29,9 @@ class FileContext:
     def __init__(self, rel_path: str, tree: ast.AST) -> None:
         self.rel_path = rel_path
         #: alias -> module, e.g. {"rnd": "random", "time": "time"}
-        self.module_aliases: dict = {}
+        self.module_aliases: Dict[str, str] = {}
         #: local name -> "module.original", e.g. {"clock": "time.perf_counter"}
-        self.from_imports: dict = {}
+        self.from_imports: Dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -148,8 +148,9 @@ def lint_file(
     dispatcher.visit(tree)
 
     # A suppression comment on any line the violating node spans counts, so
-    # the directive also works on the closing paren of a multi-line call.
-    suppressions = parse_suppressions(source)
+    # the directive also works on the closing paren of a multi-line call;
+    # passing the tree lets a directive on a `def` line cover its decorators.
+    suppressions = parse_suppressions(source, tree)
     findings = [
         Finding(path=rel_path, line=line, col=col, code=code, message=message)
         for code, line, col, end_line, message in dispatcher.raw

@@ -20,7 +20,19 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    List,
+    Sequence,
+    TypeVar,
+    Union,
+)
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.scenarios.config import SimulationConfig
+    from repro.scenarios.results import RunResult
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -126,7 +138,9 @@ def get_executor(jobs: JobsSpec) -> ExperimentExecutor:
     return ProcessExecutor(count)
 
 
-def map_scenarios(configs: Iterable, jobs: JobsSpec = None) -> List:
+def map_scenarios(
+    configs: "Iterable[SimulationConfig]", jobs: JobsSpec = None
+) -> "List[RunResult]":
     """Run :func:`~repro.scenarios.runner.run_scenario` over ``configs``.
 
     The workhorse behind every ``jobs=`` parameter in the scenario layer:

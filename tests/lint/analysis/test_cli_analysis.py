@@ -1,0 +1,76 @@
+"""CLI surface of the whole-program analysis: flags, selection, errors."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.lint.cli import main
+
+FIXTURES = pathlib.Path(__file__).parents[1] / "fixtures" / "analysis"
+
+
+class TestFlags:
+    def test_analysis_flag_runs_rep1xx(self, capsys):
+        exit_code = main(
+            [
+                "--isolated",
+                "--analysis",
+                "--format=json",
+                str(FIXTURES / "rep100_bad.py"),
+            ]
+        )
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["counts"]) == {"REP100"}
+
+    def test_no_analysis_suppresses_rep1xx(self, capsys):
+        exit_code = main(
+            ["--isolated", "--no-analysis", str(FIXTURES / "rep100_bad.py")]
+        )
+        assert exit_code == 0
+
+    def test_analysis_and_no_analysis_conflict(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--analysis", "--no-analysis", str(FIXTURES)])
+        assert excinfo.value.code == 2
+
+    def test_rules_is_an_alias_for_select(self, capsys):
+        exit_code = main(
+            [
+                "--isolated",
+                "--rules=REP103",
+                "--format=json",
+                str(FIXTURES / "rep103_bad.py"),
+            ]
+        )
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["counts"]) == {"REP103"}
+
+    def test_selecting_rep1xx_enables_analysis_implicitly(self, capsys):
+        exit_code = main(
+            [
+                "--isolated",
+                "--select=REP104",
+                "--format=json",
+                str(FIXTURES / "rep104_bad.py"),
+            ]
+        )
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["counts"]) == {"REP104"}
+
+    def test_unknown_code_error_lists_analysis_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--select=REP999", str(FIXTURES)])
+        err = capsys.readouterr().err
+        assert "REP100" in err and "REP105" in err
+
+    def test_list_rules_includes_analysis_family(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP100", "REP101", "REP102", "REP103", "REP104", "REP105"):
+            assert code in out

@@ -1,0 +1,22 @@
+"""REP100 fixture: one mutation path forgets to invalidate the memo."""
+
+
+class MemoTable:
+    def __init__(self):
+        self._backing = {}
+        self._memo = {}
+
+    def _invalidate(self):
+        self._memo.clear()
+
+    def lookup(self, key):
+        if key not in self._memo:
+            self._memo[key] = self._backing.get(key, 0) + 1
+        return self._memo[key]
+
+    def put(self, key, value):
+        if key in self._backing:
+            self._backing[key] = value
+            return  # BAD: this path mutated _backing but never invalidated
+        self._backing[key] = value
+        self._invalidate()

@@ -1,0 +1,36 @@
+"""REP100 fixture (clean): every mutation path reaches _invalidate().
+
+``drop`` mutates through a local alias and ``reset`` invalidates via a
+helper that itself always invalidates — both shapes must stay clean.
+"""
+
+
+class MemoTableGood:
+    def __init__(self):
+        self._backing = {}
+        self._memo = {}
+
+    def _invalidate(self):
+        self._memo.clear()
+
+    def lookup(self, key):
+        if key not in self._memo:
+            self._memo[key] = self._backing.get(key, 0) + 1
+        return self._memo[key]
+
+    def put(self, key, value):
+        self._backing[key] = value
+        self._invalidate()
+
+    def drop(self, key):
+        backing = self._backing
+        if key in backing:
+            backing.pop(key)
+            self._invalidate()
+
+    def _rebuild(self):
+        self._invalidate()
+
+    def reset(self):
+        self._backing.clear()
+        self._rebuild()

@@ -1,0 +1,15 @@
+"""REP101 fixture: the forwarded Message is mutated after it escaped."""
+
+from repro.network.message import Message
+
+
+class Forwarder:
+    def __init__(self, network):
+        self.network = network
+
+    def forward(self, payload, directions):
+        message = Message("event", payload)
+        for direction in directions:
+            self.network.send(0, direction, message)
+        message.size_bits = 128  # BAD: the network still holds this envelope
+        return message

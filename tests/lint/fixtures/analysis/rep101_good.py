@@ -1,0 +1,21 @@
+"""REP101 fixture (clean): mutate before sending, or send a fresh envelope."""
+
+from repro.network.message import Message
+
+
+class ForwarderGood:
+    def __init__(self, network):
+        self.network = network
+
+    def forward(self, payload, directions):
+        message = Message("event", payload)
+        message.size_bits = 128  # fine: nothing holds the envelope yet
+        for direction in directions:
+            self.network.send(0, direction, message)
+
+    def forward_fresh(self, payload, directions):
+        message = Message("event", payload)
+        self.network.send(0, directions[0], message)
+        message = Message("event", payload)  # rebinding starts a new envelope
+        message.size_bits = 64
+        self.network.send(0, directions[1], message)

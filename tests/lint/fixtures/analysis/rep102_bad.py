@@ -1,0 +1,14 @@
+"""REP102 fixture: scheduled callback with the wrong argument count."""
+
+
+class Node:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def _deliver(self, event, route):
+        return (event, route)
+
+    def kick(self, event):
+        # BAD: _deliver takes 2 arguments, only 1 scheduled; this raises
+        # only when the calendar fires.
+        self.sim.schedule_call(0.5, self._deliver, event)

@@ -1,0 +1,19 @@
+"""REP102 fixture (clean): arities line up, varargs and defaults accepted."""
+
+
+def on_timeout(*payload):
+    return payload
+
+
+class NodeGood:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def _deliver(self, event, route=None):
+        return (event, route)
+
+    def kick(self, event):
+        self.sim.schedule_call(0.5, self._deliver, event)
+        self.sim.schedule_call_at(1.0, self._deliver, event, [0, 1])
+        self.sim.schedule_call(2.0, on_timeout, event, 1, 2, 3)
+        self.sim.schedule_call(3.0, lambda: None)

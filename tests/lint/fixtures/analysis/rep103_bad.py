@@ -1,0 +1,13 @@
+"""REP103 fixture: RNG constructed outside repro/sim/rng.py."""
+
+import random
+
+import numpy as np
+
+
+def make_rng(seed):
+    return random.Random(seed)  # BAD: streams must come from RandomStreams
+
+
+def make_numpy_rng(seed):
+    return np.random.default_rng(seed)  # BAD: same policy for numpy

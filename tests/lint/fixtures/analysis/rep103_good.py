@@ -1,0 +1,7 @@
+"""REP103 fixture (clean): randomness arrives injected, never constructed."""
+
+from repro.sim.rng import RandomStreams
+
+
+def pick(streams: RandomStreams, options):
+    return streams.stream("choices").choice(options)

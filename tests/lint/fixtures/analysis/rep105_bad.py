@@ -1,0 +1,13 @@
+"""REP105 fixture: a recovery subclass breaking the base contract."""
+
+from repro.recovery.base import RecoveryAlgorithm
+
+
+class BrokenRecovery(RecoveryAlgorithm):
+    def __init__(self, dispatcher):
+        # BAD: never calls super().__init__ — timer/stats are never wired.
+        self.dispatcher = dispatcher
+
+    def handle_gossip(self, payload):
+        # BAD: the engine calls handle_gossip(payload, from_node).
+        return payload

@@ -1,0 +1,15 @@
+"""REP105 fixture (clean): subclass keeps the base contract."""
+
+from repro.recovery.base import RecoveryAlgorithm
+
+
+class PoliteRecovery(RecoveryAlgorithm):
+    def __init__(self, dispatcher, extra=None):
+        super().__init__(dispatcher)
+        self.extra = extra
+
+    def gossip_round(self):
+        return None
+
+    def handle_gossip(self, payload, from_node):
+        return (payload, from_node)

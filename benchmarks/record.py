@@ -220,6 +220,50 @@ def bench_figure_scenario(quick: bool) -> Dict[str, float]:
     }
 
 
+def bench_faults_scenario(quick: bool) -> Optional[Dict[str, object]]:
+    """The figure scenario again, with the full fault stack switched on
+    (Poisson churn + Gilbert--Elliott burst loss + graceful degradation)
+    next to a faults-disabled control run.  ``enabled_over_disabled``
+    tracks the cost of the fault machinery itself; the control's
+    ``disabled_seconds`` compared across records tracks the passive
+    injection-hook overhead a fault-free run pays (contract: < 3%)."""
+    try:
+        from repro.faults import ChurnProcess, FaultPlan, GilbertElliottConfig
+        from repro.recovery.degrade import DegradationConfig
+    except ImportError:  # pragma: no cover - pre-fault-layer trees
+        return None
+
+    base = _figure_config(quick)
+    plan = FaultPlan(
+        churn=ChurnProcess(rate=1.0, mean_downtime=0.4, start=base.measure_start),
+        link_loss=GilbertElliottConfig.from_epsilon(
+            base.error_rate, mean_burst_length=5.0
+        ),
+    )
+    faulted = base.replace(faults=plan, degradation=DegradationConfig())
+
+    record: Dict[str, object] = {}
+    for key, config in (("disabled", base), ("enabled", faulted)):
+        best = None
+        result = None
+        for _ in range(2 if quick else 3):
+            start = time.perf_counter()
+            result = Simulation(config).run()
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        record[f"{key}_seconds"] = round(best, 6)
+        record[f"{key}_delivery"] = round(result.delivery_rate, 6)
+    # The loop leaves `result` holding the faulted run.
+    record["seconds"] = record["enabled_seconds"]
+    record["enabled_over_disabled"] = round(
+        record["enabled_seconds"] / record["disabled_seconds"], 3
+    )
+    record["crashes"] = result.faults.crashes
+    record["burst_drops"] = result.faults.burst_drops
+    return record
+
+
 # ----------------------------------------------------------------------
 # Parallel sweep scaling
 # ----------------------------------------------------------------------
@@ -271,6 +315,7 @@ BENCHES = {
     "table_matching": bench_table_matching,
     "forward_event": bench_forward_event,
     "figure_scenario": bench_figure_scenario,
+    "faults_scenario": bench_faults_scenario,
 }
 
 
@@ -278,8 +323,12 @@ def record(quick: bool, label: str) -> Dict[str, object]:
     benches: Dict[str, object] = {}
     for name, bench in BENCHES.items():
         print(f"  {name} ...", end="", flush=True, file=sys.stderr)
-        benches[name] = bench(quick)
-        print(f" {benches[name]['seconds']:.3f}s", file=sys.stderr)
+        entry = bench(quick)
+        if entry is None:
+            print(" skipped (layer not present)", file=sys.stderr)
+            continue
+        benches[name] = entry
+        print(f" {entry['seconds']:.3f}s", file=sys.stderr)
     print("  sweep_scaling ...", end="", flush=True, file=sys.stderr)
     scaling = bench_sweep_scaling(quick)
     if scaling is None:

@@ -28,6 +28,8 @@ from repro.scenarios.builder import Simulation
 from repro.scenarios.results import RunResult
 from repro.scenarios.runner import run_many, run_scenario
 from repro.recovery import ALGORITHMS, PAPER_ALGORITHMS, create_recovery
+from repro.faults import FaultPlan
+from repro.recovery.degrade import DegradationConfig
 from repro.pubsub.system import PubSubSystem
 from repro.pubsub.event import Event, EventId
 from repro.sim.engine import Simulator
@@ -43,6 +45,8 @@ __all__ = [
     "ALGORITHMS",
     "PAPER_ALGORITHMS",
     "create_recovery",
+    "FaultPlan",
+    "DegradationConfig",
     "PubSubSystem",
     "Event",
     "EventId",

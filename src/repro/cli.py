@@ -4,13 +4,16 @@
 
     repro-pubsub run   [--algorithm X] [--error-rate E] [--n N] ...
     repro-pubsub compare [--error-rate E] [--jobs N] ...
-    repro-pubsub figure {3a,3b,4-buffer,4-interval,5,6,7,8,9a,9b,10} [--jobs N]
+    repro-pubsub figure {3a,3b,4-buffer,4-interval,5,6,7,8,9a,9b,10,churn} [--jobs N]
+    repro-pubsub faults --injector {crash,churn,burst-loss,partition,combined} ...
     repro-pubsub list-algorithms
 
 ``run`` executes one scenario and prints its summary; ``compare`` runs all
 six paper algorithms on the same scenario; ``figure`` regenerates one of
-the paper's figures (table + ASCII chart).  ``REPRO_PAPER_SCALE=1`` in the
-environment switches the figures to the paper's full scale.
+the paper's figures (table + ASCII chart); ``faults`` runs one scenario
+under a preset fault-injection plan and prints the fault counters next to
+the delivery summary.  ``REPRO_PAPER_SCALE=1`` in the environment switches
+the figures to the paper's full scale.
 """
 
 from __future__ import annotations
@@ -21,7 +24,15 @@ from typing import List, Optional
 
 from repro import ALGORITHMS, PAPER_ALGORITHMS, SimulationConfig, run_scenario
 from repro.analysis.tables import format_table
+from repro.faults import (
+    ChurnProcess,
+    FaultPlan,
+    GilbertElliottConfig,
+    PartitionProcess,
+    scripted_crashes,
+)
 from repro.parallel import map_scenarios
+from repro.recovery.degrade import DegradationConfig
 from repro.scenarios import experiments
 
 __all__ = ["main", "build_parser"]
@@ -51,12 +62,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure_parser.add_argument(
         "which",
-        choices=["3a", "3b", "4-buffer", "4-interval", "5", "6", "7", "8", "9a", "9b", "10"],
+        choices=[
+            "3a", "3b", "4-buffer", "4-interval", "5", "6", "7", "8",
+            "9a", "9b", "10", "churn",
+        ],
     )
     figure_parser.add_argument(
         "--chart", action="store_true", help="also draw an ASCII chart"
     )
     _add_jobs_argument(figure_parser)
+
+    faults_parser = subparsers.add_parser(
+        "faults", help="run one scenario under a preset fault-injection plan"
+    )
+    _add_scenario_arguments(faults_parser)
+    faults_parser.add_argument(
+        "--injector",
+        default="churn",
+        choices=["crash", "churn", "burst-loss", "partition", "combined"],
+        help="which fault preset to inject",
+    )
+    faults_parser.add_argument(
+        "--churn-rate",
+        type=float,
+        default=1.0,
+        help="crashes per second (churn/combined presets)",
+    )
+    faults_parser.add_argument(
+        "--mean-downtime",
+        type=float,
+        default=0.5,
+        help="mean exponential downtime before restart, seconds",
+    )
+    faults_parser.add_argument(
+        "--mean-burst-length",
+        type=float,
+        default=5.0,
+        help=(
+            "mean loss-burst length in transmissions (burst-loss/combined; "
+            "--error-rate becomes the stationary loss rate)"
+        ),
+    )
+    faults_parser.add_argument(
+        "--no-degradation",
+        action="store_true",
+        help="disable the recovery layer's graceful-degradation machinery",
+    )
 
     subparsers.add_parser("list-algorithms", help="list recovery algorithms")
     return parser
@@ -131,6 +182,61 @@ def _print_result(result) -> None:
     print(format_table(["metric", "value"], rows))
 
 
+def _fault_plan_from_args(args) -> FaultPlan:
+    """Build the preset plan the ``faults`` subcommand injects."""
+    injector = args.injector
+    crashes = ()
+    churn = None
+    partition_process = None
+    link_loss = None
+    if injector in ("crash", "combined"):
+        # Three spread-out dispatchers crash a quarter of the way in and
+        # stay down for a fifth of the run -- long enough for a visible
+        # delivery dip and a measurable post-restart recovery.
+        nodes = sorted({1 % args.n, args.n // 2, args.n - 1})
+        crashes = scripted_crashes(
+            nodes, at=args.sim_time * 0.25, duration=args.sim_time * 0.2
+        )
+    if injector in ("churn", "combined"):
+        churn = ChurnProcess(
+            rate=args.churn_rate,
+            mean_downtime=args.mean_downtime,
+            start=min(1.0, args.sim_time / 4),
+        )
+    if injector in ("burst-loss", "combined"):
+        link_loss = GilbertElliottConfig.from_epsilon(
+            args.error_rate, mean_burst_length=args.mean_burst_length
+        )
+    if injector in ("partition", "combined"):
+        partition_process = PartitionProcess(
+            interval=max(1.0, args.sim_time / 8),
+            duration=0.25,
+            start=min(1.0, args.sim_time / 4),
+        )
+    return FaultPlan(
+        crashes=crashes,
+        churn=churn,
+        partition_process=partition_process,
+        link_loss=link_loss,
+    )
+
+
+def _print_fault_stats(result) -> None:
+    faults = result.faults
+    rows = [
+        ("crashes / restarts", f"{faults.crashes} / {faults.restarts}"),
+        ("crashes skipped (already down)", faults.crashes_skipped),
+        ("partitions / heals", f"{faults.partitions} / {faults.heals}"),
+        ("links cut / restored", f"{faults.partition_links_cut} / {faults.heal_links_restored}"),
+        ("drops at down nodes", faults.down_node_drops),
+        ("burst transitions / drops", f"{faults.burst_transitions} / {faults.burst_drops}"),
+        ("peer timeouts", faults.peer_timeouts),
+        ("peer suspicions", faults.peer_suspicions),
+        ("sends skipped (degradation)", faults.peer_skips),
+    ]
+    print(format_table(["fault metric", "value"], rows))
+
+
 _FIGURES = {
     "3a": lambda jobs: experiments.fig3a_lossy_delivery(jobs=jobs),
     "3b": lambda jobs: experiments.fig3b_reconfiguration(jobs=jobs),
@@ -143,6 +249,7 @@ _FIGURES = {
     "9a": lambda jobs: experiments.fig9a_overhead_scale(jobs=jobs),
     "9b": lambda jobs: experiments.fig9b_overhead_patterns(jobs=jobs),
     "10": lambda jobs: experiments.fig10_overhead_error_rate(jobs=jobs),
+    "churn": lambda jobs: experiments.figX_churn_delivery(jobs=jobs),
 }
 
 
@@ -156,6 +263,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "run":
         _print_result(run_scenario(_config_from_args(args)))
+        return 0
+    if args.command == "faults":
+        config = _config_from_args(args).replace(
+            faults=_fault_plan_from_args(args),
+            degradation=None if args.no_degradation else DegradationConfig(),
+        )
+        result = run_scenario(config)
+        _print_result(result)
+        print()
+        _print_fault_stats(result)
+        if result.unexpected_deliveries or result.duplicate_deliveries:
+            print(
+                "SANITY VIOLATION: "
+                f"unexpected={result.unexpected_deliveries} "
+                f"duplicates={result.duplicate_deliveries}",
+                file=sys.stderr,
+            )
+            return 1
         return 0
     if args.command == "compare":
         configs = [

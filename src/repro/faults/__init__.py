@@ -1,0 +1,60 @@
+"""Deterministic fault injection.
+
+The paper evaluates epidemic recovery under i.i.d. per-transmission loss
+(ε) and single-link reconfiguration (ρ); its motivating scenarios -- mobile
+and peer-to-peer networks -- also fail in *bursts*, *partitions*, and *node
+crashes*.  This package adds those fault classes as a composable layer over
+the existing simulation:
+
+* :class:`~repro.faults.plan.FaultPlan` -- a declarative, picklable plan of
+  scripted one-shot events (crash / restart / partition) plus stochastic
+  processes (churn, recurring partitions), all driven by a named
+  :class:`~repro.sim.rng.RandomStreams` stream so runs are replayable;
+* :class:`~repro.faults.loss.LossModel` -- a pluggable per-link loss
+  protocol with the paper's Bernoulli model as the default and a
+  Gilbert--Elliott two-state burst-loss model as the alternative;
+* :class:`~repro.faults.injector.FaultInjector` -- the engine that executes
+  a plan against a live simulation (crash-stop, crash-recovery with
+  volatile-buffer wipes, partition outage and heal);
+* :class:`~repro.faults.stats.FaultStats` -- the per-run counters surfaced
+  through :class:`~repro.scenarios.results.RunResult`.
+
+Graceful degradation of the recovery layer under these faults (per-peer
+request timeouts, bounded exponential backoff with jitter, and a suspicion
+list) lives in :mod:`repro.recovery.degrade`; ``docs/FAULTS.md`` documents
+the fault model catalogue and the degradation semantics.
+"""
+
+from repro.faults.loss import (
+    BernoulliLoss,
+    GilbertElliottConfig,
+    GilbertElliottFactory,
+    GilbertElliottLoss,
+    LossModel,
+)
+from repro.faults.plan import (
+    ChurnProcess,
+    CrashEvent,
+    FaultPlan,
+    PartitionEvent,
+    PartitionProcess,
+    scripted_crashes,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.stats import FaultStats
+
+__all__ = [
+    "LossModel",
+    "BernoulliLoss",
+    "GilbertElliottConfig",
+    "GilbertElliottLoss",
+    "GilbertElliottFactory",
+    "CrashEvent",
+    "PartitionEvent",
+    "ChurnProcess",
+    "PartitionProcess",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "scripted_crashes",
+]

@@ -1,0 +1,198 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a frozen, hashable, picklable description of every
+fault a run should experience: scripted one-shot events (crash this node at
+t=2, partition that subtree at t=3) plus stochastic processes (Poisson
+churn, recurring partitions) whose randomness comes from the dedicated
+``"faults"`` stream of :class:`~repro.sim.rng.RandomStreams`.  Because the
+plan is pure data on ``SimulationConfig``, the same plan + seed replays the
+same fault schedule under any ``jobs=`` setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.faults.loss import GilbertElliottConfig
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Scripted crash of one node at a fixed simulation time.
+
+    ``duration=None`` is crash-stop: the node never returns.  Otherwise the
+    node restarts after ``duration`` seconds with its volatile state (event
+    cache, loss-detector streams, gossip routes) wiped.
+    """
+
+    #: Dispatcher id to crash.
+    node: int
+    #: Simulation time of the crash (seconds).
+    at: float
+    #: Downtime before restart; None means crash-stop (no restart).
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"node must be >= 0, got {self.node}")
+        if self.at < 0.0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.duration is not None and self.duration <= 0.0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """Scripted partition: cut the links separating a subtree, then heal.
+
+    With ``edge=None`` the injector picks a random live tree edge from the
+    ``"faults"`` stream; the component on one side becomes the partitioned
+    island.  All links crossing the cut go down together and come back up
+    after ``duration`` seconds (links the reconfiguration engine removed in
+    the meantime are skipped, not resurrected).
+    """
+
+    #: Onset time of the partition (seconds).
+    at: float
+    #: Outage length before the cut heals (seconds).
+    duration: float
+    #: Specific tree edge to cut, or None for a random live edge.
+    edge: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0.0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.duration <= 0.0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.edge is not None:
+            object.__setattr__(self, "edge", tuple(self.edge))
+            if len(self.edge) != 2 or self.edge[0] == self.edge[1]:
+                raise ValueError(f"edge must join two distinct nodes, got {self.edge}")
+
+
+@dataclass(frozen=True)
+class ChurnProcess:
+    """Poisson node-churn: random crashes at ``rate`` per second.
+
+    Victims are drawn uniformly; already-down victims are skipped (counted,
+    not rescheduled).  Each crash restarts after an exponential downtime
+    with mean ``mean_downtime``, except a ``crash_stop_fraction`` of
+    crashes that are permanent.
+    """
+
+    #: Expected crashes per second across the whole system.
+    rate: float
+    #: Mean of the exponential downtime before restart (seconds).
+    mean_downtime: float = 1.0
+    #: Time the process switches on (seconds).
+    start: float = 0.0
+    #: Time the process switches off; None runs to the end of the sim.
+    end: Optional[float] = None
+    #: Probability a churn crash is crash-stop (never restarts).
+    crash_stop_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.mean_downtime <= 0.0:
+            raise ValueError(f"mean_downtime must be > 0, got {self.mean_downtime}")
+        if self.start < 0.0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("end must be > start")
+        if not 0.0 <= self.crash_stop_fraction <= 1.0:
+            raise ValueError("crash_stop_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class PartitionProcess:
+    """Recurring random partitions: onsets form a Poisson process."""
+
+    #: Mean seconds between partition onsets (exponential inter-arrivals).
+    interval: float
+    #: Outage length of each partition before it heals (seconds).
+    duration: float
+    #: Time the process switches on (seconds).
+    start: float = 0.0
+    #: Time the process switches off; None runs to the end of the sim.
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0.0:
+            raise ValueError(f"interval must be > 0, got {self.interval}")
+        if self.duration <= 0.0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.start < 0.0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("end must be > start")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that can go wrong in one run, as pure data.
+
+    Scripted events and stochastic processes compose freely; loss-model
+    fields replace the default Bernoulli draw on tree links and/or the
+    out-of-band channel.  An empty plan is valid and behaves exactly like
+    ``faults=None``.
+    """
+
+    #: Scripted node crashes (crash-stop or crash-recovery).
+    crashes: Tuple[CrashEvent, ...] = ()
+    #: Scripted subtree partitions.
+    partitions: Tuple[PartitionEvent, ...] = ()
+    #: Poisson node-churn process, if any.
+    churn: Optional[ChurnProcess] = None
+    #: Recurring-partition process, if any.
+    partition_process: Optional[PartitionProcess] = None
+    #: Burst-loss model for tree links (replaces the Bernoulli ε draw).
+    link_loss: Optional[GilbertElliottConfig] = None
+    #: Burst-loss model for the out-of-band channel.
+    oob_loss: Optional[GilbertElliottConfig] = None
+
+    def __post_init__(self) -> None:
+        # Accept lists/generators for ergonomics; store hashable tuples.
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+
+    def validate(self, n_dispatchers: int) -> None:
+        """Check node ids and scripted edges against the topology size."""
+        for crash in self.crashes:
+            if crash.node >= n_dispatchers:
+                raise ValueError(
+                    f"CrashEvent.node {crash.node} out of range for "
+                    f"{n_dispatchers} dispatchers"
+                )
+        for partition in self.partitions:
+            if partition.edge is not None and any(
+                node >= n_dispatchers for node in partition.edge
+            ):
+                raise ValueError(
+                    f"PartitionEvent.edge {partition.edge} out of range for "
+                    f"{n_dispatchers} dispatchers"
+                )
+
+    def has_injectors(self) -> bool:
+        """True when the plan needs a FaultInjector (beyond loss models)."""
+        return bool(
+            self.crashes
+            or self.partitions
+            or self.churn is not None
+            or self.partition_process is not None
+        )
+
+    def is_empty(self) -> bool:
+        return not (
+            self.has_injectors()
+            or self.link_loss is not None
+            or self.oob_loss is not None
+        )
+
+
+def scripted_crashes(
+    nodes: Iterable[int], at: float, duration: Optional[float]
+) -> Tuple[CrashEvent, ...]:
+    """Convenience: the same crash window applied to several nodes."""
+    return tuple(CrashEvent(node=node, at=at, duration=duration) for node in nodes)

@@ -1,0 +1,65 @@
+"""Per-run fault-injection counters.
+
+Assembled by the scenario builder at result-collection time from the
+injector, the network's down-node drop counter, the Gilbert--Elliott
+factories, and each recovery's peer tracker.  ``RunResult.signature()``
+includes ``as_tuple()`` only when ``any()`` is true, so faults-disabled
+runs keep byte-identical signatures with pre-fault baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FaultStats:
+    """Counters describing what the fault layer did during one run."""
+
+    #: Nodes actually crashed (scripted + churn).
+    crashes: int = 0
+    #: Crash attempts skipped because the victim was already down.
+    crashes_skipped: int = 0
+    #: Nodes restarted after a crash-recovery downtime.
+    restarts: int = 0
+    #: Partitions opened (scripted + process).
+    partitions: int = 0
+    #: Links taken down by partition cuts.
+    partition_links_cut: int = 0
+    #: Partitions healed.
+    heals: int = 0
+    #: Links brought back up by heals (missing links are skipped).
+    heal_links_restored: int = 0
+    #: Messages dropped because the destination node was down or gone.
+    down_node_drops: int = 0
+    #: Gilbert--Elliott GOOD->BAD transitions across all links.
+    burst_transitions: int = 0
+    #: Drops charged to Gilbert--Elliott loss models (links + OOB).
+    burst_drops: int = 0
+    #: Per-peer gossip request timeouts observed by degradation trackers.
+    peer_timeouts: int = 0
+    #: Peers moved onto a suspicion list after repeated timeouts.
+    peer_suspicions: int = 0
+    #: Gossip sends skipped because the target was suspected or backing off.
+    peer_skips: int = 0
+
+    def any(self) -> bool:
+        """True when any fault machinery actually fired this run."""
+        return any(value != 0 for value in self.as_tuple())
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.crashes,
+            self.crashes_skipped,
+            self.restarts,
+            self.partitions,
+            self.partition_links_cut,
+            self.heals,
+            self.heal_links_restored,
+            self.down_node_drops,
+            self.burst_transitions,
+            self.burst_drops,
+            self.peer_timeouts,
+            self.peer_suspicions,
+            self.peer_skips,
+        )

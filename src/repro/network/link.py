@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.network.message import Message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faults.loss import LossModel
     from repro.network.network import Network
 
 __all__ = ["Link", "LinkStats"]
@@ -72,6 +73,9 @@ class Link:
         Per-transmission Bernoulli loss probability (ε).
     rng:
         Random stream used for loss draws.
+    loss_model:
+        Optional stateful loss model (e.g. Gilbert--Elliott burst loss);
+        when set, it replaces the inline Bernoulli ``error_rate`` draw.
     """
 
     __slots__ = (
@@ -82,6 +86,7 @@ class Link:
         "propagation_delay",
         "error_rate",
         "rng",
+        "loss_model",
         "up",
         "stats",
         "_busy_until",
@@ -97,6 +102,7 @@ class Link:
         propagation_delay: float,
         error_rate: float,
         rng: random.Random,
+        loss_model: Optional["LossModel"] = None,
     ) -> None:
         if node_a == node_b:
             raise ValueError(f"self-link at node {node_a}")
@@ -111,6 +117,7 @@ class Link:
         self.propagation_delay = propagation_delay
         self.error_rate = error_rate
         self.rng = rng
+        self.loss_model = loss_model
         self.up = True
         self.stats = LinkStats()
         # Per-direction transmitter availability, keyed by sender id.
@@ -159,11 +166,18 @@ class Link:
         done = start + serialization
         busy_until[from_node] = done
         stats.busy_time += serialization
-        error_rate = self.error_rate
-        if error_rate > 0.0 and self.rng.random() < error_rate:
-            stats.lost += 1
-            observer.count_drop(kind)
-            return True
+        loss_model = self.loss_model
+        if loss_model is not None:
+            if loss_model.should_drop(self.rng):
+                stats.lost += 1
+                observer.count_drop(kind)
+                return True
+        else:
+            error_rate = self.error_rate
+            if error_rate > 0.0 and self.rng.random() < error_rate:
+                stats.lost += 1
+                observer.count_drop(kind)
+                return True
         # Deliveries are never cancelled, so the handle-free fast path
         # avoids one object allocation per transmission.
         sim.schedule_call_at(
@@ -183,11 +197,18 @@ class Link:
             self.stats.dropped_down += 1
             network.observer.count_drop(message.kind)
             return
+        node = network._receivers.get(to_node)
+        if node is None:
+            # Destination crashed (or vanished) while the message was in
+            # flight: counted drop, never a KeyError.
+            network.observer.count_drop(message.kind)
+            network.down_drops += 1
+            return
         self.stats.delivered += 1
         # Network.deliver inlined (count + hand to the node): this runs once
         # per successful link transmission and the extra frame is measurable.
         network.observer.count_deliver(message.kind)
-        network._nodes[to_node].receive(message, from_node)
+        node.receive(message, from_node)
 
     def set_up(self, up: bool) -> None:
         """Raise or lower the link (reconfiguration engine hook)."""

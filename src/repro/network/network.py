@@ -11,12 +11,25 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Optional, Protocol, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+)
 
 from repro.network.link import Link
 from repro.network.message import Message, MessageKind
 from repro.network.node import Node
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a cycle
+    from repro.faults.loss import LossModel
 
 __all__ = ["Network", "NetworkConfig", "TrafficObserver"]
 
@@ -74,6 +87,13 @@ class Network:
         Random stream for link-loss and out-of-band-loss draws.
     observer:
         Optional traffic observer for overhead accounting.
+    loss_model_factory:
+        Optional ``(node_a, node_b) -> LossModel`` called once per link;
+        installs a stateful loss model (e.g. Gilbert--Elliott) in place of
+        the inline Bernoulli ``error_rate`` draw.
+    oob_loss_model:
+        Optional shared loss model for the out-of-band channel, replacing
+        the Bernoulli ``oob_error_rate`` draw.
     """
 
     def __init__(
@@ -82,12 +102,23 @@ class Network:
         config: NetworkConfig,
         loss_rng: random.Random,
         observer: Optional[TrafficObserver] = None,
+        loss_model_factory: Optional[Callable[[int, int], "LossModel"]] = None,
+        oob_loss_model: Optional["LossModel"] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self._loss_rng = loss_rng
         self.observer: TrafficObserver = observer or _NullObserver()
+        self._loss_model_factory = loss_model_factory
+        self._oob_loss_model = oob_loss_model
         self._nodes: Dict[int, Node] = {}
+        # Nodes currently able to receive: ``_nodes`` minus crashed nodes.
+        # Delivery hot paths do a single ``.get`` here, so a down (or
+        # vanished) destination costs nothing extra on the healthy path.
+        self._receivers: Dict[int, Node] = {}
+        self._down: Set[int] = set()
+        #: Messages dropped because their destination was down or gone.
+        self.down_drops = 0
         # adjacency: node id -> {neighbor id -> Link}
         self._adjacency: Dict[int, Dict[int, Link]] = {}
         self._links: Dict[Tuple[int, int], Link] = {}
@@ -99,10 +130,35 @@ class Network:
         if node.node_id in self._nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
         self._nodes[node.node_id] = node
+        self._receivers[node.node_id] = node
         self._adjacency[node.node_id] = {}
 
     def node(self, node_id: int) -> Node:
         return self._nodes[node_id]
+
+    def set_node_down(self, node_id: int, down: bool) -> None:
+        """Crash or restart a node (fault-injector hook).
+
+        A down node keeps its links and routing entries -- the rest of the
+        tree still forwards toward it -- but every message addressed to it
+        is discarded on arrival as a counted drop, like frames sent to a
+        powered-off host.
+        """
+        if node_id not in self._nodes:
+            raise KeyError(f"unknown node {node_id}")
+        if down:
+            self._down.add(node_id)
+            self._receivers.pop(node_id, None)
+        else:
+            self._down.discard(node_id)
+            self._receivers[node_id] = self._nodes[node_id]
+
+    def is_down(self, node_id: int) -> bool:
+        return node_id in self._down
+
+    def down_nodes(self) -> Set[int]:
+        """Ids of currently-crashed nodes (copy; sorted iteration safe)."""
+        return set(self._down)
 
     def nodes(self) -> Iterator[Node]:
         return iter(self._nodes.values())
@@ -125,6 +181,7 @@ class Network:
         key = self._key(a, b)
         if key in self._links:
             raise ValueError(f"link {key} already exists")
+        factory = self._loss_model_factory
         link = Link(
             self,
             a,
@@ -133,6 +190,7 @@ class Network:
             propagation_delay=self.config.propagation_delay,
             error_rate=self.config.error_rate,
             rng=self._loss_rng,
+            loss_model=factory(a, b) if factory is not None else None,
         )
         self._links[key] = link
         self._adjacency[a][b] = link
@@ -202,10 +260,19 @@ class Network:
         Bernoulli loss, no queueing (recovery traffic is small compared to
         the 10 Mbit/s links, and the paper treats this path as out of band).
         """
-        if to_node not in self._nodes:
-            raise KeyError(f"unknown out-of-band destination {to_node}")
         self.observer.count_send(message.kind, from_node)
-        if (
+        if to_node not in self._nodes:
+            # Unknown destination (e.g. stale peer knowledge): counted drop,
+            # never an exception -- UDP to a vanished host just disappears.
+            self.observer.count_drop(message.kind)
+            self.down_drops += 1
+            return False
+        oob_model = self._oob_loss_model
+        if oob_model is not None:
+            if oob_model.should_drop(self._loss_rng):
+                self.observer.count_drop(message.kind)
+                return True
+        elif (
             self.config.oob_error_rate > 0.0
             and self._loss_rng.random() < self.config.oob_error_rate
         ):
@@ -220,12 +287,24 @@ class Network:
     # Delivery plumbing (called by links)
     # ------------------------------------------------------------------
     def deliver(self, message: Message, from_node: int, to_node: int) -> None:
+        node = self._receivers.get(to_node)
+        if node is None:
+            # Destination crashed (or was removed) while the message was in
+            # flight: counted drop, never a KeyError.
+            self.observer.count_drop(message.kind)
+            self.down_drops += 1
+            return
         self.observer.count_deliver(message.kind)
-        self._nodes[to_node].receive(message, from_node)
+        node.receive(message, from_node)
 
     def _deliver_oob(self, message: Message, from_node: int, to_node: int) -> None:
+        node = self._receivers.get(to_node)
+        if node is None:
+            self.observer.count_drop(message.kind)
+            self.down_drops += 1
+            return
         self.observer.count_deliver(message.kind)
-        self._nodes[to_node].receive_oob(message, from_node)
+        node.receive_oob(message, from_node)
 
     # Counting hooks used by Link ---------------------------------------
     def count_send(self, kind: MessageKind, node_id: int) -> None:

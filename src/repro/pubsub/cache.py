@@ -247,6 +247,23 @@ class EventCache:
         return list(bucket) if bucket else []
 
     # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every cached event and all index state.
+
+        Crash-recovery semantics: the buffer is volatile memory, so a
+        restarted dispatcher comes back with an empty cache.  Lazy-index
+        activation flags are reset too -- the next lookup rebuilds from the
+        (empty) store.  Cumulative statistics survive; the wipe is not an
+        eviction.
+        """
+        self._events.clear()
+        self._id_list.clear()
+        self._id_pos.clear()
+        self._by_loss_key.clear()
+        self._by_pattern.clear()
+        self._loss_index_active = False
+        self._pattern_index_active = False
+
     def __len__(self) -> int:
         return len(self._events)
 

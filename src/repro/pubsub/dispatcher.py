@@ -53,9 +53,15 @@ class RecoveryHooks(Protocol):
     package.
     """
 
+    #: Peer liveness tracker (``repro.recovery.degrade.PeerTracker``) or
+    #: ``None`` when graceful degradation is disabled.
+    peers: Optional[Any]
+
     def on_event_received(self, event: Event, route: Route) -> None: ...
 
     def on_event_published(self, event: Event) -> None: ...
+
+    def on_restart(self) -> None: ...
 
     def handle_gossip(self, payload: Any, from_node: int) -> None: ...
 
@@ -391,17 +397,27 @@ class Dispatcher:
         if kind == MessageKind.EVENT:
             self._handle_event(message.payload, from_node)
         elif kind == MessageKind.GOSSIP:
-            if self.recovery is not None:
-                self.recovery.handle_gossip(message.payload, from_node)
+            recovery = self.recovery
+            if recovery is not None:
+                if recovery.peers is not None:
+                    # Inbound gossip proves the neighbor is alive (graceful
+                    # degradation; no-op dict miss when nothing is tracked).
+                    recovery.peers.note_response(from_node)
+                recovery.handle_gossip(message.payload, from_node)
         elif kind == MessageKind.SUBSCRIPTION:
             self._handle_subscription(message.payload, from_node)
         # CONTROL and unknown kinds are ignored by design.
 
     def receive_oob(self, message: Message, from_node: int) -> None:
         kind = message.kind
+        recovery = self.recovery
+        if recovery is not None and recovery.peers is not None:
+            # Out-of-band traffic (requests and retransmissions) also proves
+            # the sender is alive.
+            recovery.peers.note_response(from_node)
         if kind == MessageKind.OOB_REQUEST:
-            if self.recovery is not None:
-                self.recovery.handle_oob_request(message.payload, from_node)
+            if recovery is not None:
+                recovery.handle_oob_request(message.payload, from_node)
         elif kind == MessageKind.OOB_EVENT:
             self.receive_recovered_event(message.payload)
 

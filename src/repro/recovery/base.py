@@ -18,6 +18,7 @@ from typing import Any, Optional, Tuple
 
 from repro.pubsub.dispatcher import Dispatcher
 from repro.pubsub.event import EventId
+from repro.recovery.degrade import DegradationConfig, PeerTracker
 from repro.sim.timers import PeriodicTimer
 
 __all__ = ["RecoveryConfig", "GossipStats", "RecoveryAlgorithm"]
@@ -53,6 +54,10 @@ class RecoveryConfig:
     adaptive_min_interval: float = 0.01
     adaptive_max_interval: float = 0.24
     adaptive_factor: float = 1.5
+    #: Graceful degradation under faults: per-peer timeout/backoff/suspicion
+    #: (see :mod:`repro.recovery.degrade`).  ``None`` (default) disables the
+    #: machinery entirely and leaves draw sequences untouched.
+    degradation: Optional[DegradationConfig] = None
 
     def __post_init__(self) -> None:
         if self.gossip_interval <= 0:
@@ -124,6 +129,14 @@ class RecoveryAlgorithm:
         self.rng = rng
         self.config = config
         self.stats = GossipStats()
+        #: Peer liveness tracker (graceful degradation); ``None`` when
+        #: ``config.degradation`` is unset, which keeps every fault-free
+        #: code path and draw sequence identical to the legacy behaviour.
+        self.peers: Optional[PeerTracker] = None
+        if config.degradation is not None:
+            self.peers = PeerTracker(
+                dispatcher.sim, rng, config.degradation, config.gossip_interval
+            )
         phase = rng.random() * config.gossip_interval
         self.timer = PeriodicTimer(
             dispatcher.sim, config.gossip_interval, self._round, phase=phase
@@ -173,6 +186,17 @@ class RecoveryAlgorithm:
         algorithms need no publisher-side bookkeeping beyond the cache.
         """
 
+    def on_restart(self) -> None:
+        """Wipe volatile recovery state after a crash-recovery restart.
+
+        Called by the fault injector between :meth:`stop` (at crash time)
+        and :meth:`start` (at restart time).  The base clears the peer
+        tracker; subclasses additionally reset their loss-detection and
+        routing buffers (volatile memory does not survive a crash).
+        """
+        if self.peers is not None:
+            self.peers.reset()
+
     # ------------------------------------------------------------------
     # Shared primitives
     # ------------------------------------------------------------------
@@ -187,9 +211,14 @@ class RecoveryAlgorithm:
         """
         sent = 0
         p_forward = self.config.p_forward
+        peers = self.peers
         for neighbor in self.dispatcher.gossip_targets(pattern, exclude):
+            if peers is not None and not peers.allow(neighbor):
+                continue  # suspected or backing off: spend the copy elsewhere
             if self.rng.random() < p_forward:
                 self.dispatcher.send_gossip(neighbor, payload)
+                if peers is not None:
+                    peers.note_sent(neighbor)
                 sent += 1
         self.stats.gossip_sent += sent
         return sent
@@ -203,17 +232,23 @@ class RecoveryAlgorithm:
         budget carried in the payload.  Returns the number of copies sent
         (0 when the node has no usable neighbor).
         """
+        peers = self.peers
         neighbors = [
             neighbor
             for neighbor in self.dispatcher.neighbors()
             if neighbor != exclude
+            and (peers is None or not peers.is_suspected(neighbor))
         ]
         if not neighbors:
+            # No non-suspected forward choice: fall back to any neighbor
+            # rather than stalling the walk (suspicion may be a false alarm).
             neighbors = self.dispatcher.neighbors()
             if not neighbors:
                 return 0
         choice = neighbors[self.rng.randrange(len(neighbors))]
         self.dispatcher.send_gossip(choice, payload)
+        if peers is not None:
+            peers.note_sent(choice)
         self.stats.gossip_sent += 1
         return 1
 

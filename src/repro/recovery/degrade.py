@@ -1,0 +1,203 @@
+"""Graceful degradation of pull gossip under faults.
+
+The paper's pull family implicitly assumes every gossip target is alive:
+a digest sent to a crashed peer is simply lost, and the gossiper keeps
+re-spending its rounds (and bandwidth) on a black hole.  This module adds
+the standard failure-detector machinery a production gossip stack would
+carry:
+
+* **per-peer request timeout** -- every digest sent to a peer arms a
+  timeout; any traffic back from that peer (gossip, request, or
+  retransmission) cancels it;
+* **bounded retries with exponential backoff + jitter** -- after a timeout
+  the peer enters a backoff window (``backoff_base · backoff_factor^n``,
+  capped at ``backoff_max``, plus a jittered fraction) during which gossip
+  skips it;
+* **suspicion list** -- ``max_retries`` consecutive timeouts move the peer
+  onto a suspicion list for ``suspicion_rounds`` gossip rounds; suspected
+  peers are skipped entirely until the window expires or they speak up.
+
+Everything is timer-driven off the injected simulator and draws jitter
+from the node-local recovery rng, so degraded runs stay deterministic.
+With ``RecoveryConfig.degradation`` left ``None`` (the default) none of
+this machinery is constructed and the draw sequences are untouched.
+
+Like any timeout-based failure detector, suspicion is *unreliable*: a
+healthy peer that has nothing to send back (no matching cached events, no
+losses of its own) can be suspected during quiet periods.  That costs only
+a temporarily narrowed gossip fan-out -- any message from the peer clears
+its record immediately.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.engine import Simulator
+
+__all__ = ["DegradationConfig", "PeerTracker"]
+
+
+@dataclass(frozen=True)
+class DegradationConfig:
+    """Tunables of the per-peer timeout / backoff / suspicion machinery."""
+
+    #: Seconds to wait for any traffic back after gossiping to a peer.
+    request_timeout: float = 0.1
+    #: Consecutive timeouts before the peer is suspected.
+    max_retries: int = 3
+    #: First backoff window after a timeout (seconds).
+    backoff_base: float = 0.06
+    #: Multiplier applied per consecutive timeout.
+    backoff_factor: float = 2.0
+    #: Upper bound on one backoff window (seconds).
+    backoff_max: float = 1.0
+    #: Jitter as a fraction of the window, drawn uniformly in [0, f).
+    backoff_jitter: float = 0.25
+    #: Gossip rounds (k) a suspected peer is skipped.
+    suspicion_rounds: int = 8
+
+    def __post_init__(self) -> None:
+        if self.request_timeout <= 0.0:
+            raise ValueError("request_timeout must be > 0")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if self.backoff_base < 0.0 or self.backoff_max < self.backoff_base:
+            raise ValueError("need 0 <= backoff_base <= backoff_max")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_jitter < 0.0:
+            raise ValueError("backoff_jitter must be >= 0")
+        if self.suspicion_rounds < 1:
+            raise ValueError("suspicion_rounds must be >= 1")
+
+
+class _PeerState:
+    """Liveness record for one gossip peer of one dispatcher."""
+
+    __slots__ = ("failures", "outstanding_token", "next_attempt_at", "suspected_until")
+
+    def __init__(self) -> None:
+        #: Consecutive timeouts since the peer last spoke.
+        self.failures = 0
+        #: Token of the armed probe timeout; 0 when none outstanding.
+        self.outstanding_token = 0
+        #: Backoff: no sends to this peer before this time.
+        self.next_attempt_at = 0.0
+        #: Suspicion: peer skipped entirely until this time.
+        self.suspected_until = 0.0
+
+
+class PeerTracker:
+    """Per-dispatcher peer liveness bookkeeping.
+
+    One instance per recovery algorithm (when degradation is enabled).
+    The hot-path contract: healthy peers have *no* entry in ``_state``,
+    so ``allow`` on a quiet network is one dict miss.
+    """
+
+    __slots__ = (
+        "_sim",
+        "_rng",
+        "config",
+        "_suspicion_window",
+        "_state",
+        "_next_token",
+        "timeouts",
+        "suspicions",
+        "skips",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        config: DegradationConfig,
+        gossip_interval: float,
+    ) -> None:
+        self._sim = sim
+        self._rng = rng
+        self.config = config
+        # "k rounds" expressed in simulated time: suspicion outlives k gossip
+        # intervals of this dispatcher.
+        self._suspicion_window = config.suspicion_rounds * gossip_interval
+        self._state: Dict[int, _PeerState] = {}
+        # Monotonic probe tokens: pending timeout callbacks carry the token
+        # they were armed with and fire only if it is still current, so a
+        # response logically cancels the probe without a cancellable handle.
+        self._next_token = 0
+        #: Probe timeouts observed.
+        self.timeouts = 0
+        #: Suspicion-list placements.
+        self.suspicions = 0
+        #: Sends skipped (backoff or suspicion).
+        self.skips = 0
+
+    # ------------------------------------------------------------------
+    def allow(self, peer: int) -> bool:
+        """True when gossip may be sent to ``peer`` right now."""
+        state = self._state.get(peer)
+        if state is None:
+            return True
+        now = self._sim._now
+        if state.suspected_until > now or state.next_attempt_at > now:
+            self.skips += 1
+            return False
+        return True
+
+    def note_sent(self, peer: int) -> None:
+        """Record a gossip send; arms the probe timeout if none is pending."""
+        state = self._state.get(peer)
+        if state is None:
+            state = _PeerState()
+            self._state[peer] = state
+        elif state.outstanding_token:
+            return  # one probe in flight at a time
+        self._next_token += 1
+        token = self._next_token
+        state.outstanding_token = token
+        self._sim.schedule_call(self.config.request_timeout, self._expire, peer, token)
+
+    def note_response(self, peer: int) -> None:
+        """Any traffic from ``peer`` proves liveness: clear its record."""
+        # Dropping the entry both resets failures/backoff/suspicion and
+        # invalidates the outstanding probe token in one operation.
+        self._state.pop(peer, None)
+
+    def is_suspected(self, peer: int) -> bool:
+        state = self._state.get(peer)
+        return state is not None and state.suspected_until > self._sim._now
+
+    # ------------------------------------------------------------------
+    def _expire(self, peer: int, token: int) -> None:
+        state = self._state.get(peer)
+        if state is None or state.outstanding_token != token:
+            return  # the peer answered (or was reset) before the deadline
+        state.outstanding_token = 0
+        state.failures += 1
+        self.timeouts += 1
+        now = self._sim._now
+        config = self.config
+        backoff = min(
+            config.backoff_max,
+            config.backoff_base * config.backoff_factor ** (state.failures - 1),
+        )
+        backoff += backoff * config.backoff_jitter * self._rng.random()
+        state.next_attempt_at = now + backoff
+        if state.failures >= config.max_retries:
+            state.suspected_until = now + self._suspicion_window
+            state.failures = 0
+            self.suspicions += 1
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all peer state (crash-recovery restart wipes volatiles)."""
+        self._state.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PeerTracker tracked={len(self._state)} timeouts={self.timeouts} "
+            f"suspicions={self.suspicions} skips={self.skips}>"
+        )

@@ -82,10 +82,29 @@ class LossDetector:
         # do not rescan the whole Lost buffer every round.
         self._pattern_counts: Dict[int, int] = {}
         self._source_counts: Dict[int, int] = {}
+        # After ``reset(resync=True)`` the first arrival of each stream
+        # rebaselines it instead of declaring every earlier sequence lost.
+        self._resync = False
         # Statistics.
         self.detected = 0
         self.recovered = 0
         self.abandoned = 0
+
+    def reset(self, resync: bool = False) -> None:
+        """Wipe all tracking state (crash-recovery: volatile memory is gone).
+
+        Cumulative statistics survive -- they describe the whole run, not
+        the buffer contents.  With ``resync=True`` (the crash-recovery
+        semantics) the first post-reset arrival of each (source, pattern)
+        stream becomes its new reference point: a restarted node cannot
+        know which sequence numbers it missed while down, so it does not
+        flood the Lost buffer with the entire history of every stream.
+        """
+        self._streams.clear()
+        self._lost.clear()
+        self._pattern_counts.clear()
+        self._source_counts.clear()
+        self._resync = resync
 
     # ------------------------------------------------------------------
     def observe(self, event: Event, local_patterns, now: float) -> List[LostEntry]:
@@ -107,6 +126,10 @@ class LossDetector:
             state = streams.get(stream_key)
             if state is None:
                 state = _StreamState()
+                if self._resync:
+                    # Rebaseline: accept this arrival as in-order and only
+                    # detect gaps from here on.
+                    state.max_seen = seq - 1
                 streams[stream_key] = state
             missing = state.missing
             max_seen = state.max_seen

@@ -61,6 +61,20 @@ class PullRecoveryBase(RecoveryAlgorithm):
         """Call if local subscriptions change mid-run."""
         self._local_patterns_cache = None
 
+    def on_restart(self) -> None:
+        """Crash-recovery restart: volatile pull state does not survive.
+
+        The loss-detector streams are rebaselined (the first post-restart
+        arrival of each stream becomes the new reference point -- a node
+        cannot know what it missed while its memory was gone), learned
+        routes are forgotten, and the subscription-pattern cache is
+        re-derived from the table.
+        """
+        super().on_restart()
+        self.detector.reset(resync=True)
+        self.routes = RoutesBuffer()
+        self._local_patterns_cache = None
+
     def on_event_received(self, event, route) -> None:
         local_patterns = self._local_patterns_cache
         if local_patterns is None:
@@ -123,11 +137,16 @@ class PullRecoveryBase(RecoveryAlgorithm):
         source = sources[self.rng.randrange(len(sources))]
         route = self.routes.route_to(source)
         assert route is not None
+        peers = self.peers
+        if peers is not None and not peers.allow(route[0]):
+            return False  # first hop suspected/backing off: skip this round
         entries = tuple(
             self.detector.entries_for_source(source, self.config.digest_limit)
         )
         payload = PublisherPullGossip(self.node_id, source, route, entries)
         self.dispatcher.send_gossip(route[0], payload)
+        if peers is not None:
+            peers.note_sent(route[0])
         self.stats.gossip_sent += 1
         return True
 
@@ -143,7 +162,13 @@ class PullRecoveryBase(RecoveryAlgorithm):
             # We are the last recorded hop (normally the source itself);
             # whatever is still unmet was evicted everywhere along the way.
             return
-        self.dispatcher.send_gossip(advanced.remaining_route[0], advanced)
+        next_hop = advanced.remaining_route[0]
+        peers = self.peers
+        if peers is not None and not peers.allow(next_hop):
+            return  # digest dies here; the gossiper retries a later round
+        self.dispatcher.send_gossip(next_hop, advanced)
+        if peers is not None:
+            peers.note_sent(next_hop)
         self.stats.gossip_sent += 1
 
     # ------------------------------------------------------------------

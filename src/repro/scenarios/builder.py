@@ -17,6 +17,9 @@ import gc
 import time
 from typing import List, Optional
 
+from repro.faults.injector import FaultInjector
+from repro.faults.loss import GilbertElliottFactory, GilbertElliottLoss
+from repro.faults.stats import FaultStats
 from repro.metrics.counters import MessageCounters
 from repro.metrics.delivery import DeliveryTracker
 from repro.network.network import Network
@@ -68,11 +71,24 @@ class Simulation:
         self.tracker = DeliveryTracker()
 
         # --- network + dispatchers ---------------------------------------
+        # Burst-loss models (when configured) replace the Bernoulli draws;
+        # the factories are kept so collect_result can aggregate burst
+        # counters into FaultStats.
+        plan = config.faults
+        self._link_loss_factory: Optional[GilbertElliottFactory] = None
+        self._oob_loss_model: Optional[GilbertElliottLoss] = None
+        if plan is not None:
+            if plan.link_loss is not None:
+                self._link_loss_factory = GilbertElliottFactory(plan.link_loss)
+            if plan.oob_loss is not None:
+                self._oob_loss_model = GilbertElliottLoss(plan.oob_loss)
         self.network = Network(
             self.sim,
             config.network_config(),
             self.streams.stream("loss"),
             observer=self.counters,
+            loss_model_factory=self._link_loss_factory,
+            oob_loss_model=self._oob_loss_model,
         )
         self.pattern_space = PatternSpace(config.n_patterns)
         algorithm_cls = ALGORITHMS[config.algorithm]
@@ -152,6 +168,21 @@ class Simulation:
                 on_topology_changed=repair_routes,
             )
 
+        # --- fault injection ----------------------------------------------
+        # The "faults" stream is drawn only when injectors exist, so plans
+        # that merely swap the loss model leave other streams untouched.
+        self.fault_injector: Optional[FaultInjector] = None
+        if plan is not None and plan.has_injectors():
+            self.fault_injector = FaultInjector(
+                self.sim,
+                self.network,
+                self.system,
+                self.recoveries,
+                self.publishers,
+                self.streams.stream("faults"),
+                plan,
+            )
+
         self._receiver_pair_total = 0
         self._started = False
         self._wall_seconds = 0.0
@@ -181,6 +212,8 @@ class Simulation:
             publisher.start()
         if self.reconfiguration is not None:
             self.reconfiguration.start()
+        if self.fault_injector is not None:
+            self.fault_injector.start()
 
     def run(self, until: Optional[float] = None) -> RunResult:
         """Run to ``until`` (default: the configured ``sim_time``) and
@@ -219,6 +252,7 @@ class Simulation:
                 losses_detected += detector.detected
                 losses_recovered += detector.recovered
                 losses_abandoned += detector.abandoned
+        fault_stats = self._collect_fault_stats()
         events_published = sum(p.published for p in self.publishers)
         receivers_per_event = (
             self._receiver_pair_total / self.tracker.event_count()
@@ -257,7 +291,37 @@ class Simulation:
             wall_clock_seconds=self._wall_seconds,
             unexpected_deliveries=self.tracker.unexpected_deliveries,
             duplicate_deliveries=self.tracker.duplicate_deliveries,
+            faults=fault_stats,
         )
+
+    def _collect_fault_stats(self) -> FaultStats:
+        """Aggregate the fault layer's counters from every component."""
+        stats = FaultStats()
+        injector = self.fault_injector
+        if injector is not None:
+            stats.crashes = injector.stats.crashes
+            stats.crashes_skipped = injector.stats.crashes_skipped
+            stats.restarts = injector.stats.restarts
+            stats.partitions = injector.stats.partitions
+            stats.partition_links_cut = injector.stats.partition_links_cut
+            stats.heals = injector.stats.heals
+            stats.heal_links_restored = injector.stats.heal_links_restored
+        stats.down_node_drops = self.network.down_drops
+        factory = self._link_loss_factory
+        if factory is not None:
+            stats.burst_transitions += factory.transitions
+            stats.burst_drops += factory.drops
+        oob_model = self._oob_loss_model
+        if oob_model is not None:
+            stats.burst_transitions += oob_model.transitions
+            stats.burst_drops += oob_model.drops
+        for recovery in self.recoveries:
+            peers = recovery.peers
+            if peers is not None:
+                stats.peer_timeouts += peers.timeouts
+                stats.peer_suspicions += peers.suspicions
+                stats.peer_skips += peers.skips
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -25,8 +25,10 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.faults.plan import FaultPlan
 from repro.network.network import NetworkConfig
 from repro.recovery.base import RecoveryConfig
+from repro.recovery.degrade import DegradationConfig
 
 __all__ = ["SimulationConfig"]
 
@@ -108,6 +110,16 @@ class SimulationConfig:
     #: Ablation knob: let push skip empty digests.
     push_skip_empty: bool = False
 
+    # ------------------------------------------------------------- faults
+    #: Declarative fault-injection plan (crashes, churn, partitions, burst
+    #: loss); ``None`` (the default) injects nothing and keeps the run
+    #: byte-identical to pre-fault behaviour.
+    faults: Optional[FaultPlan] = None
+    #: Graceful-degradation knobs for the recovery layer (per-peer request
+    #: timeout, bounded backoff, suspicion list); ``None`` disables the
+    #: machinery entirely.
+    degradation: Optional[DegradationConfig] = None
+
     # ---------------------------------------------------------- execution
     #: Simulated duration, seconds (paper: 25 s).
     sim_time: float = 25.0
@@ -149,6 +161,8 @@ class SimulationConfig:
             and self.reconfiguration_interval <= 0
         ):
             raise ValueError("reconfiguration_interval must be positive or None")
+        if self.faults is not None:
+            self.faults.validate(self.n_dispatchers)
         if not self.measure_start < self.effective_measure_end <= self.sim_time:
             raise ValueError(
                 "measurement window must satisfy "
@@ -195,6 +209,7 @@ class SimulationConfig:
             lost_capacity=self.lost_capacity,
             give_up_age=self.give_up_age,
             push_skip_empty=self.push_skip_empty,
+            degradation=self.degradation,
         )
 
     # ------------------------------------------------------------------

@@ -27,8 +27,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.faults.plan import ChurnProcess, FaultPlan
 from repro.parallel import map_scenarios
 from repro.recovery import PAPER_ALGORITHMS
+from repro.recovery.degrade import DegradationConfig
 from repro.scenarios.config import SimulationConfig
 from repro.scenarios.results import RunResult
 
@@ -48,6 +50,7 @@ __all__ = [
     "fig9a_overhead_scale",
     "fig9b_overhead_patterns",
     "fig10_overhead_error_rate",
+    "figX_churn_delivery",
 ]
 
 #: The paper's full-scale reference configuration (Figure 2).
@@ -581,5 +584,56 @@ def fig10_overhead_error_rate(
         lambda algorithm: base.replace(algorithm=algorithm),
         lambda config, eps: config.replace(error_rate=eps),
         lambda run: run.gossip_per_dispatcher,
+        jobs=jobs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure X (extension): delivery under node churn
+# ----------------------------------------------------------------------
+def figX_churn_delivery(
+    algorithms: Sequence[str] = ("push", "subscriber-pull", "combined-pull"),
+    churn_rates: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
+    mean_downtime: float = 0.5,
+    error_rate: float = 0.05,
+    seed: int = 42,
+    jobs=None,
+) -> ExperimentResult:
+    """Delivery vs. Poisson node-churn rate (beyond-the-paper extension).
+
+    The paper's motivating scenarios (mobile and peer-to-peer networks)
+    lose *nodes*, not just packets, but its evaluation stops at link loss
+    and single-link reconfiguration.  This experiment crashes random
+    dispatchers at ``churn_rates`` crashes/s (exponential downtimes of
+    mean ``mean_downtime`` s, volatile buffers wiped on restart) on top of
+    a mildly lossy network, with graceful degradation (per-peer timeout,
+    backoff, suspicion) enabled whenever churn is active.  The x = 0 point
+    is the fault-free reference.  Raw :class:`RunResult` objects keep the
+    per-run :class:`~repro.faults.stats.FaultStats` for deeper inspection.
+    """
+    base = base_config(seed=seed).replace(error_rate=error_rate)
+
+    def apply_rate(config: SimulationConfig, rate: float) -> SimulationConfig:
+        if rate == 0.0:
+            return config
+        plan = FaultPlan(
+            churn=ChurnProcess(
+                rate=rate,
+                mean_downtime=mean_downtime,
+                start=config.measure_start,
+            )
+        )
+        return config.replace(faults=plan, degradation=DegradationConfig())
+
+    return _run_curves(
+        "FigX-churn",
+        f"delivery under node churn (eps={error_rate}, "
+        f"downtime={mean_downtime}s)",
+        "crashes/s",
+        list(churn_rates),
+        algorithms,
+        lambda algorithm: base.replace(algorithm=algorithm),
+        apply_rate,
+        _delivery,
         jobs=jobs,
     )

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.faults.stats import FaultStats
 from repro.metrics.delivery import DeliveryStats
 from repro.metrics.timeseries import TimeSeries
 from repro.recovery.base import GossipStats
@@ -61,6 +62,8 @@ class RunResult:
     #: Sanity counters (must stay 0; asserted by tests).
     unexpected_deliveries: int = 0
     duplicate_deliveries: int = 0
+    #: Fault-injection counters (all zero when no faults were configured).
+    faults: FaultStats = field(default_factory=FaultStats)
 
     @property
     def delivery_rate(self) -> float:
@@ -114,7 +117,10 @@ class RunResult:
             self.sim_events_processed,
             self.unexpected_deliveries,
             self.duplicate_deliveries,
-        )
+            # Appended only when the fault layer actually fired, so
+            # faults-disabled signatures stay byte-identical to pre-fault
+            # baselines (satellite regression contract).
+        ) + ((self.faults.as_tuple(),) if self.faults.any() else ())
 
     def summary_row(self) -> Dict[str, float]:
         """Compact dictionary for tables and EXPERIMENTS.md."""

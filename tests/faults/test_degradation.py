@@ -1,0 +1,181 @@
+"""Graceful degradation: PeerTracker units plus end-to-end suspicion."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults import FaultPlan, CrashEvent
+from repro.recovery.degrade import DegradationConfig, PeerTracker
+from repro.scenarios.builder import Simulation
+from repro.scenarios.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.topology.generator import path_tree
+
+
+def make_tracker(**overrides):
+    sim = Simulator()
+    config = DegradationConfig(**overrides)
+    tracker = PeerTracker(sim, random.Random(0), config, gossip_interval=0.03)
+    return sim, tracker
+
+
+class TestDegradationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegradationConfig(request_timeout=0.0)
+        with pytest.raises(ValueError):
+            DegradationConfig(max_retries=0)
+        with pytest.raises(ValueError):
+            DegradationConfig(backoff_base=0.5, backoff_max=0.1)
+        with pytest.raises(ValueError):
+            DegradationConfig(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            DegradationConfig(suspicion_rounds=0)
+
+
+class TestPeerTracker:
+    def test_healthy_peer_is_always_allowed(self):
+        sim, tracker = make_tracker()
+        assert tracker.allow(7)
+        assert tracker.skips == 0
+
+    def test_timeout_enters_backoff_then_allows_again(self):
+        sim, tracker = make_tracker(
+            request_timeout=0.1, backoff_base=0.2, backoff_jitter=0.0
+        )
+        tracker.note_sent(7)
+        sim.run(until=0.15)  # probe expired
+        assert tracker.timeouts == 1
+        assert not tracker.allow(7)  # inside the backoff window
+        assert tracker.skips == 1
+        sim.run(until=0.35)  # backoff (0.2 s) elapsed
+        assert tracker.allow(7)
+
+    def test_response_cancels_pending_probe(self):
+        sim, tracker = make_tracker(request_timeout=0.1)
+        tracker.note_sent(7)
+        sim.run(until=0.05)
+        tracker.note_response(7)
+        sim.run()  # the stale probe callback still fires -- and must no-op
+        assert tracker.timeouts == 0
+        assert tracker.allow(7)
+
+    def test_one_probe_in_flight_per_peer(self):
+        sim, tracker = make_tracker(request_timeout=0.1)
+        tracker.note_sent(7)
+        tracker.note_sent(7)  # must not arm a second probe
+        sim.run()
+        assert tracker.timeouts == 1
+
+    def test_suspicion_after_max_retries(self):
+        sim, tracker = make_tracker(
+            request_timeout=0.05,
+            max_retries=2,
+            backoff_base=0.0,
+            backoff_jitter=0.0,
+            suspicion_rounds=10,
+        )
+        for _ in range(2):
+            tracker.note_sent(7)
+            sim.run()  # drain: the probe times out
+        assert tracker.suspicions == 1
+        assert tracker.is_suspected(7)
+        assert not tracker.allow(7)
+        # Suspicion lasts suspicion_rounds × gossip_interval = 0.3 s.
+        sim.run(until=sim.now + 0.31)
+        assert not tracker.is_suspected(7)
+        assert tracker.allow(7)
+
+    def test_response_clears_suspicion_immediately(self):
+        sim, tracker = make_tracker(
+            request_timeout=0.05, max_retries=1, backoff_jitter=0.0
+        )
+        tracker.note_sent(7)
+        sim.run()
+        assert tracker.is_suspected(7)
+        tracker.note_response(7)
+        assert not tracker.is_suspected(7)
+        assert tracker.allow(7)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        sim, tracker = make_tracker(
+            request_timeout=0.05,
+            max_retries=10,
+            backoff_base=0.1,
+            backoff_factor=2.0,
+            backoff_max=0.3,
+            backoff_jitter=0.0,
+        )
+        expected = [0.1, 0.2, 0.3, 0.3]  # capped from the third timeout on
+        for window in expected:
+            start = sim.now
+            tracker.note_sent(7)
+            sim.run(until=start + 0.05)
+            state = tracker._state[7]
+            assert state.next_attempt_at - sim.now == pytest.approx(window)
+            sim.run(until=state.next_attempt_at + 1e-6)
+
+    def test_reset_forgets_everything(self):
+        sim, tracker = make_tracker(request_timeout=0.05, max_retries=1)
+        tracker.note_sent(7)
+        sim.run()
+        assert tracker.is_suspected(7)
+        tracker.reset()
+        assert not tracker.is_suspected(7)
+        assert tracker.allow(7)
+
+
+class TestEndToEnd:
+    BASE = dict(
+        n_dispatchers=8,
+        n_patterns=8,
+        pi_max=2,
+        publish_rate=20.0,
+        error_rate=0.0,
+        sim_time=4.0,
+        measure_start=0.5,
+        measure_end=3.5,
+        buffer_size=200,
+        algorithm="combined-pull",
+        seed=5,
+    )
+
+    def test_disabled_by_default(self):
+        simulation = Simulation(SimulationConfig(**self.BASE), tree=path_tree(8))
+        assert all(r.peers is None for r in simulation.recoveries)
+        result = simulation.run()
+        assert result.faults.peer_timeouts == 0
+
+    def test_neighbors_of_a_dead_node_suspect_it(self):
+        # Lossy links so pull actually has losses to gossip about (pull is
+        # reactive: on a loss-free network no digests ever target the dead
+        # node and nothing can time out).
+        config = SimulationConfig(
+            **{**self.BASE, "error_rate": 0.1},
+            faults=FaultPlan(crashes=(CrashEvent(node=3, at=1.0),)),  # crash-stop
+            degradation=DegradationConfig(),
+        )
+        simulation = Simulation(config, tree=path_tree(8))
+        result = simulation.run()
+        assert result.faults.peer_timeouts > 0
+        assert result.faults.peer_suspicions > 0
+        assert result.faults.peer_skips > 0
+        # The path neighbors of node 3 personally suspected it at least once.
+        suspicious = [
+            node_id
+            for node_id, recovery in enumerate(simulation.recoveries)
+            if recovery.peers is not None and recovery.peers.suspicions > 0
+        ]
+        assert set(suspicious) & {2, 4}
+
+    def test_degradation_does_not_hurt_healthy_runs(self):
+        """On a fault-free lossy network, enabling degradation must not
+        meaningfully change delivery (false suspicions are transient)."""
+        base = SimulationConfig(**{**self.BASE, "error_rate": 0.1})
+        plain = Simulation(base, tree=path_tree(8)).run()
+        hardened = Simulation(
+            base.replace(degradation=DegradationConfig()), tree=path_tree(8)
+        ).run()
+        assert hardened.delivery_rate >= plain.delivery_rate - 0.03

@@ -1,0 +1,141 @@
+"""Unit tests for the pluggable loss models (Bernoulli, Gilbert--Elliott)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults.loss import (
+    BernoulliLoss,
+    GilbertElliottConfig,
+    GilbertElliottFactory,
+    GilbertElliottLoss,
+)
+
+
+class TestBernoulliLoss:
+    def test_matches_inline_draw_sequence(self):
+        """Installing BernoulliLoss(ε) consumes exactly the draws the inline
+        ``error_rate`` branch would -- including none at ε = 0."""
+        model = BernoulliLoss(0.3)
+        rng_model = random.Random(7)
+        rng_inline = random.Random(7)
+        for _ in range(500):
+            assert model.should_drop(rng_model) == (rng_inline.random() < 0.3)
+        assert rng_model.getstate() == rng_inline.getstate()
+
+    def test_zero_rate_consumes_no_randomness(self):
+        model = BernoulliLoss(0.0)
+        rng = random.Random(1)
+        state = rng.getstate()
+        for _ in range(10):
+            assert not model.should_drop(rng)
+        assert rng.getstate() == state
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.1)
+
+
+class TestGilbertElliottConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottConfig(p_good_bad=0.0, p_bad_good=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliottConfig(p_good_bad=1.5, p_bad_good=0.2)
+        with pytest.raises(ValueError):
+            GilbertElliottConfig(
+                p_good_bad=0.1, p_bad_good=0.2, loss_good=0.9, loss_bad=0.1
+            )
+
+    def test_stationary_loss_rate_and_burst_length(self):
+        config = GilbertElliottConfig(p_good_bad=0.02, p_bad_good=0.2)
+        # π_bad = 0.02 / 0.22; classic chain loses everything while BAD.
+        assert config.stationary_loss_rate() == pytest.approx(0.02 / 0.22)
+        assert config.mean_burst_length() == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("epsilon", [0.01, 0.05, 0.1, 0.3])
+    @pytest.mark.parametrize("burst", [1.0, 3.0, 8.0])
+    def test_from_epsilon_round_trips(self, epsilon, burst):
+        config = GilbertElliottConfig.from_epsilon(epsilon, mean_burst_length=burst)
+        assert config.stationary_loss_rate() == pytest.approx(epsilon)
+        assert config.mean_burst_length() == pytest.approx(burst)
+
+    def test_from_epsilon_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            GilbertElliottConfig.from_epsilon(1.0)  # no GOOD state left
+        with pytest.raises(ValueError):
+            GilbertElliottConfig.from_epsilon(0.1, mean_burst_length=0.5)
+        with pytest.raises(ValueError):
+            # π_bad = 0.99 with 2-transmission bursts needs p_good_bad ≈ 50.
+            GilbertElliottConfig.from_epsilon(0.99, mean_burst_length=2.0)
+
+
+class TestGilbertElliottLoss:
+    def test_empirical_loss_rate_matches_stationary(self):
+        config = GilbertElliottConfig.from_epsilon(0.1, mean_burst_length=5.0)
+        model = GilbertElliottLoss(config)
+        rng = random.Random(42)
+        n = 200_000
+        drops = sum(model.should_drop(rng) for _ in range(n))
+        assert drops / n == pytest.approx(0.1, abs=0.01)
+        assert model.drops == drops
+        assert model.transitions > 0
+
+    def test_losses_are_bursty(self):
+        """At equal ε, the GE chain produces far fewer, longer loss runs
+        than the Bernoulli model."""
+        epsilon, n = 0.1, 50_000
+
+        def mean_run_length(outcomes):
+            runs, current = [], 0
+            for lost in outcomes:
+                if lost:
+                    current += 1
+                elif current:
+                    runs.append(current)
+                    current = 0
+            if current:
+                runs.append(current)
+            return sum(runs) / len(runs)
+
+        ge = GilbertElliottLoss(
+            GilbertElliottConfig.from_epsilon(epsilon, mean_burst_length=8.0)
+        )
+        rng = random.Random(3)
+        ge_outcomes = [ge.should_drop(rng) for _ in range(n)]
+        bernoulli = BernoulliLoss(epsilon)
+        rng = random.Random(3)
+        b_outcomes = [bernoulli.should_drop(rng) for _ in range(n)]
+        # Bernoulli run lengths average 1/(1-ε) ≈ 1.1; GE's ≈ 8.
+        assert mean_run_length(ge_outcomes) > 3 * mean_run_length(b_outcomes)
+
+    def test_deterministic_per_seed(self):
+        config = GilbertElliottConfig.from_epsilon(0.2, mean_burst_length=4.0)
+        outcomes = []
+        for _ in range(2):
+            model = GilbertElliottLoss(config)
+            rng = random.Random(11)
+            outcomes.append([model.should_drop(rng) for _ in range(2_000)])
+        assert outcomes[0] == outcomes[1]
+
+
+class TestGilbertElliottFactory:
+    def test_independent_state_per_link_shared_counters(self):
+        factory = GilbertElliottFactory(
+            GilbertElliottConfig.from_epsilon(0.3, mean_burst_length=3.0)
+        )
+        model_a = factory(0, 1)
+        model_b = factory(1, 2)
+        assert model_a is not model_b
+        rng = random.Random(5)
+        for _ in range(1_000):
+            model_a.should_drop(rng)
+        # Only link A advanced; link B's state is untouched.
+        assert model_b.transitions == 0 and model_b.drops == 0
+        assert factory.transitions == model_a.transitions
+        assert factory.drops == model_a.drops
+        assert len(factory.models) == 2

@@ -1,0 +1,109 @@
+"""FaultPlan and fault-event dataclasses: validation, hashing, pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.faults import (
+    ChurnProcess,
+    CrashEvent,
+    FaultPlan,
+    GilbertElliottConfig,
+    PartitionEvent,
+    PartitionProcess,
+    scripted_crashes,
+)
+from repro.scenarios.config import SimulationConfig
+
+
+class TestEventValidation:
+    def test_crash_event(self):
+        with pytest.raises(ValueError):
+            CrashEvent(node=-1, at=1.0)
+        with pytest.raises(ValueError):
+            CrashEvent(node=0, at=-1.0)
+        with pytest.raises(ValueError):
+            CrashEvent(node=0, at=1.0, duration=0.0)
+        assert CrashEvent(node=0, at=1.0).duration is None  # crash-stop
+
+    def test_partition_event(self):
+        with pytest.raises(ValueError):
+            PartitionEvent(at=1.0, duration=0.0)
+        with pytest.raises(ValueError):
+            PartitionEvent(at=1.0, duration=0.5, edge=(3, 3))
+        event = PartitionEvent(at=1.0, duration=0.5, edge=[2, 5])
+        assert event.edge == (2, 5)  # coerced to a hashable tuple
+
+    def test_churn_process(self):
+        with pytest.raises(ValueError):
+            ChurnProcess(rate=0.0)
+        with pytest.raises(ValueError):
+            ChurnProcess(rate=1.0, mean_downtime=0.0)
+        with pytest.raises(ValueError):
+            ChurnProcess(rate=1.0, start=2.0, end=1.0)
+        with pytest.raises(ValueError):
+            ChurnProcess(rate=1.0, crash_stop_fraction=1.5)
+
+    def test_partition_process(self):
+        with pytest.raises(ValueError):
+            PartitionProcess(interval=0.0, duration=0.5)
+        with pytest.raises(ValueError):
+            PartitionProcess(interval=1.0, duration=0.5, start=3.0, end=2.0)
+
+
+class TestFaultPlan:
+    def test_coerces_sequences_to_tuples(self):
+        plan = FaultPlan(crashes=[CrashEvent(node=1, at=0.5)])
+        assert isinstance(plan.crashes, tuple)
+
+    def test_hashable_and_picklable(self):
+        plan = FaultPlan(
+            crashes=scripted_crashes([1, 2], at=1.0, duration=0.5),
+            partitions=(PartitionEvent(at=2.0, duration=0.3),),
+            churn=ChurnProcess(rate=1.0),
+            partition_process=PartitionProcess(interval=2.0, duration=0.2),
+            link_loss=GilbertElliottConfig.from_epsilon(0.1),
+            oob_loss=GilbertElliottConfig.from_epsilon(0.05),
+        )
+        assert hash(plan) == hash(pickle.loads(pickle.dumps(plan)))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_validate_checks_topology_bounds(self):
+        plan = FaultPlan(crashes=(CrashEvent(node=30, at=1.0),))
+        with pytest.raises(ValueError):
+            plan.validate(n_dispatchers=24)
+        plan.validate(n_dispatchers=31)
+
+        plan = FaultPlan(partitions=(PartitionEvent(at=1.0, duration=0.2, edge=(0, 40)),))
+        with pytest.raises(ValueError):
+            plan.validate(n_dispatchers=24)
+
+    def test_has_injectors_and_is_empty(self):
+        assert FaultPlan().is_empty()
+        assert not FaultPlan().has_injectors()
+        loss_only = FaultPlan(link_loss=GilbertElliottConfig.from_epsilon(0.1))
+        assert not loss_only.has_injectors()
+        assert not loss_only.is_empty()
+        assert FaultPlan(churn=ChurnProcess(rate=1.0)).has_injectors()
+        assert FaultPlan(crashes=(CrashEvent(node=0, at=1.0),)).has_injectors()
+
+    def test_scripted_crashes_helper(self):
+        crashes = scripted_crashes([3, 1], at=2.0, duration=1.0)
+        assert [c.node for c in crashes] == [3, 1]
+        assert all(c.at == 2.0 and c.duration == 1.0 for c in crashes)
+
+    def test_config_validates_plan_on_construction(self):
+        plan = FaultPlan(crashes=(CrashEvent(node=99, at=1.0),))
+        with pytest.raises(ValueError):
+            SimulationConfig(n_dispatchers=10, faults=plan)
+
+    def test_config_with_plan_is_picklable(self):
+        """Executor submissions carry the config; the plan must survive."""
+        config = SimulationConfig(
+            n_dispatchers=10,
+            faults=FaultPlan(churn=ChurnProcess(rate=1.0)),
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone.faults == config.faults

@@ -1,0 +1,104 @@
+"""End-to-end crash-recovery scenario (the fault layer's acceptance test).
+
+A lossy combined-pull system loses a sixth of its dispatchers for a crash
+epoch mid-run.  Delivery must visibly dip while they are down, then climb
+back to (at least) the paper's lossy-link level once they restart -- and
+the whole episode must complete without a single unhandled exception,
+duplicate, or unexpected delivery: traffic to dead nodes becomes counted
+drops, nothing more.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, scripted_crashes
+from repro.recovery.degrade import DegradationConfig
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.runner import run_scenario
+
+CRASH_AT = 2.0
+CRASH_DURATION = 1.5  # restart at t = 3.5
+
+BASE = SimulationConfig(
+    n_dispatchers=24,
+    n_patterns=24,
+    pi_max=2,
+    publish_rate=30.0,
+    error_rate=0.1,
+    sim_time=8.0,
+    measure_start=0.5,
+    measure_end=6.5,
+    buffer_size=600,
+    algorithm="combined-pull",
+    seed=42,
+)
+
+CRASHED_NODES = (3, 9, 15, 21)
+
+FAULTED = BASE.replace(
+    faults=FaultPlan(
+        crashes=scripted_crashes(CRASHED_NODES, at=CRASH_AT, duration=CRASH_DURATION)
+    ),
+    degradation=DegradationConfig(),
+)
+
+
+def window_mean(series, start, end):
+    values = [v for t, v in series.defined() if start <= t < end]
+    assert values, f"no defined samples in [{start}, {end})"
+    return sum(values) / len(values)
+
+
+@pytest.fixture(scope="module")
+def faulted_result():
+    return run_scenario(FAULTED)
+
+
+@pytest.fixture(scope="module")
+def reference_result():
+    return run_scenario(BASE)
+
+
+class TestCrashRecoveryScenario:
+    def test_no_corruption(self, faulted_result):
+        """The absolute contract: crashes produce counted drops, never
+        duplicates, misdeliveries, or exceptions (the run completing at
+        all covers the latter)."""
+        assert faulted_result.unexpected_deliveries == 0
+        assert faulted_result.duplicate_deliveries == 0
+
+    def test_fault_stats_populated(self, faulted_result):
+        faults = faulted_result.faults
+        assert faults.crashes == len(CRASHED_NODES)
+        assert faults.restarts == len(CRASHED_NODES)
+        assert faults.down_node_drops > 0
+        assert faults.peer_timeouts > 0
+
+    def test_delivery_dips_during_crash_epoch(self, faulted_result, reference_result):
+        series = faulted_result.series
+        before = window_mean(series, 0.5, CRASH_AT)
+        during = window_mean(series, CRASH_AT + 0.1, CRASH_AT + CRASH_DURATION)
+        assert during < before - 0.05, (
+            f"no visible dip: before={before:.3f} during={during:.3f}"
+        )
+        # The dip is the crash's doing, not noise: the fault-free reference
+        # stays high over the same window.
+        reference_during = window_mean(
+            reference_result.series, CRASH_AT + 0.1, CRASH_AT + CRASH_DURATION
+        )
+        assert reference_during > during + 0.05
+
+    def test_delivery_restores_after_restart(self, faulted_result, reference_result):
+        """Post-restart delivery returns to the paper's lossy-link level:
+        both in absolute terms (the paper's ≈0.90 for combined pull at
+        ε = 0.1) and relative to the fault-free reference run."""
+        restart = CRASH_AT + CRASH_DURATION
+        post = window_mean(faulted_result.series, restart + 0.5, 6.5)
+        assert post >= 0.90
+        reference_post = window_mean(reference_result.series, restart + 0.5, 6.5)
+        assert post >= reference_post - 0.03
+
+    def test_aggregate_delivery_sane(self, faulted_result, reference_result):
+        # A bounded hit overall: worse than fault-free, far from collapse.
+        assert 0.80 <= faulted_result.delivery_rate < reference_result.delivery_rate

@@ -75,11 +75,17 @@ class TestOutOfBand:
         sim.run()
         assert nodes[1].received_oob == []
 
-    def test_oob_unknown_destination_rejected(self):
+    def test_oob_unknown_destination_is_counted_drop(self):
+        """UDP to a vanished host just disappears: counted drop (send +
+        drop + down_drops), never a KeyError."""
         sim = Simulator()
-        network, nodes = make_network(sim)
-        with pytest.raises(KeyError):
-            network.send_oob(0, 99, Message(MessageKind.OOB_EVENT, "e", 0))
+        counters = MessageCounters(node_count=3)
+        network, nodes = make_network(sim, observer=counters)
+        assert network.send_oob(0, 99, Message(MessageKind.OOB_EVENT, "e", 0)) is False
+        sim.run()
+        assert counters.sent(MessageKind.OOB_EVENT) == 1
+        assert counters.dropped(MessageKind.OOB_EVENT) == 1
+        assert network.down_drops == 1
 
     def test_oob_statistical_loss(self):
         sim = Simulator()
@@ -90,6 +96,55 @@ class TestOutOfBand:
         sim.run()
         rate = 1 - len(nodes[1].received_oob) / 2000
         assert rate == pytest.approx(0.25, abs=0.04)
+
+
+class TestCrashedNodeDelivery:
+    """In-flight traffic to a node that crashes before delivery becomes a
+    counted drop (``down_drops``) -- never an exception, never a receive."""
+
+    def test_link_message_in_flight_when_node_crashes(self):
+        sim = Simulator()
+        counters = MessageCounters(node_count=3)
+        network, nodes = make_network(sim, observer=counters)
+        network.add_link(0, 1)
+        assert network.send(0, 1, event_message()) is True
+        network.set_node_down(1, True)  # crash while the frame is on the wire
+        sim.run()
+        assert nodes[1].received == []
+        assert counters.dropped(MessageKind.EVENT) == 1
+        assert counters.delivered(MessageKind.EVENT) == 0
+        assert network.down_drops == 1
+
+    def test_oob_message_in_flight_when_node_crashes(self):
+        sim = Simulator()
+        counters = MessageCounters(node_count=3)
+        network, nodes = make_network(sim, observer=counters)
+        assert network.send_oob(0, 2, Message(MessageKind.OOB_EVENT, "e", 0)) is True
+        network.set_node_down(2, True)
+        sim.run()
+        assert nodes[2].received_oob == []
+        assert counters.dropped(MessageKind.OOB_EVENT) == 1
+        assert network.down_drops == 1
+
+    def test_restart_reenables_delivery(self):
+        sim = Simulator()
+        network, nodes = make_network(sim)
+        network.add_link(0, 1)
+        network.set_node_down(1, True)
+        network.send(0, 1, event_message())
+        sim.run()
+        assert nodes[1].received == []
+        network.set_node_down(1, False)
+        network.send(0, 1, event_message())
+        sim.run()
+        assert len(nodes[1].received) == 1
+        assert network.down_drops == 1  # only the crash-epoch frame
+
+    def test_set_node_down_rejects_unknown_node(self):
+        sim = Simulator()
+        network, nodes = make_network(sim)
+        with pytest.raises(KeyError):
+            network.set_node_down(99, True)
 
 
 class TestTrafficObserver:

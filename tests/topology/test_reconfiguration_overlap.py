@@ -1,0 +1,134 @@
+"""Overlapping reconfigurations: interval < repair_delay (the paper's
+ρ = 0.03 s regime) keeps several links down at once, so the overlay is
+temporarily a forest with more than two components.  The engine must
+repair pairwise, respect the degree cap throughout, and account for every
+break once the schedule drains."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.network import Network, NetworkConfig
+from repro.sim.engine import Simulator
+from repro.topology.generator import random_tree
+from repro.topology.reconfiguration import ReconfigurationEngine
+from repro.topology.tree import connected_components, is_tree
+
+MAX_DEGREE = 4
+
+
+class _StubNode:
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def receive(self, message, from_node):
+        pass
+
+    def receive_oob(self, message, from_node):
+        pass
+
+
+def _build(seed, n=24, interval=0.03, repair_delay=0.1):
+    sim = Simulator()
+    tree = random_tree(n, random.Random(seed), max_degree=MAX_DEGREE)
+    network = Network(sim, NetworkConfig(error_rate=0.0), random.Random(0))
+    for node_id in range(tree.node_count):
+        network.add_node(_StubNode(node_id))
+    for a, b in tree.edges:
+        network.add_link(a, b)
+    engine = ReconfigurationEngine(
+        sim,
+        network,
+        random.Random(seed + 1),
+        interval=interval,
+        repair_delay=repair_delay,
+        max_degree=MAX_DEGREE,
+    )
+    return sim, network, engine
+
+
+def _adjacency(network):
+    return {n: set(network.neighbors(n)) for n in network.node_ids()}
+
+
+class TestOverlappingOutages:
+    def test_forest_grows_past_two_components_mid_storm(self):
+        """With ρ = 0.03 and a 0.1 s outage, ~3 breaks are in flight at any
+        time: at some instant the overlay must be > 2 components."""
+        sim, network, engine = _build(seed=3)
+        engine.start()
+        max_components = 0
+        # Sample the component count between every scheduled event.
+        horizon = 2.0
+        while sim.now < horizon and sim.pending:
+            sim.step()
+            max_components = max(
+                max_components, len(connected_components(_adjacency(network)))
+            )
+        assert max_components > 2
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_drain_reconnects_and_accounts_every_break(self, seed):
+        """Stop the storm, let pending repairs drain: the overlay is one
+        connected component again and ``breaks == repairs +
+        skipped_repairs`` -- every break was either repaired or found
+        already-reconnected (never lost)."""
+        sim, network, engine = _build(seed=seed)
+        engine.start()
+        sim.run(until=1.5)
+        engine.stop()
+        sim.run()  # drain the in-flight repairs
+        stats = engine.stats
+        assert stats.breaks > 10  # the storm actually stormed
+        assert stats.breaks == stats.repairs + stats.skipped_repairs
+        components = connected_components(_adjacency(network))
+        assert len(components) == 1
+
+    def test_repair_skips_when_externally_reconnected(self):
+        """If something else (another repair, a fault-injector heal, test
+        surgery) reconnects the broken halves before the repair fires, the
+        repair is counted as skipped instead of adding a redundant link --
+        the accounting identity's other leg."""
+        sim, network, engine = _build(seed=9, interval=10.0, repair_delay=0.2)
+        engine.start()
+        sim.run(until=10.05)  # first break just happened
+        assert engine.stats.breaks == 1
+        components = connected_components(_adjacency(network))
+        assert len(components) == 2
+        # Reconnect the halves out from under the engine.
+        left, right = (sorted(c) for c in components)
+        network.add_link(left[0], right[0])
+        sim.run(until=10.25)  # the repair fires ... and must skip
+        assert engine.stats.repairs == 0
+        assert engine.stats.skipped_repairs == 1
+        assert engine.stats.breaks == engine.stats.repairs + engine.stats.skipped_repairs
+        assert len(connected_components(_adjacency(network))) == 1
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_degree_cap_respected_throughout(self, seed):
+        sim, network, engine = _build(seed=seed)
+        engine.start()
+        horizon = 1.5
+        while sim.now < horizon and sim.pending:
+            sim.step()
+            over_cap = [
+                node for node in network.node_ids()
+                if network.degree(node) > MAX_DEGREE
+            ]
+            assert not over_cap, f"degree cap violated at t={sim.now}: {over_cap}"
+
+    def test_drained_overlay_is_a_tree_when_repairs_never_skip(self):
+        """Sequential regime (interval >> repair_delay): one break in
+        flight at a time, so every repair happens and the drained overlay
+        is again a tree with N-1 edges."""
+        sim, network, engine = _build(seed=5, interval=0.5, repair_delay=0.05)
+        engine.start()
+        sim.run(until=3.0)
+        engine.stop()
+        sim.run()
+        stats = engine.stats
+        assert stats.skipped_repairs == 0
+        assert stats.breaks == stats.repairs
+        assert is_tree(network.node_count, network.edges())

@@ -291,6 +291,14 @@ def bench_sweep_scaling(quick: bool) -> Optional[Dict[str, object]]:
 
     base = _sweep_config(quick)
     record: Dict[str, object] = {"algorithms": list(SWEEP_ALGORITHMS)}
+    try:
+        from repro.parallel import get_executor
+
+        # On hosts with fewer cores than jobs, get_executor falls back to
+        # the serial executor; note which backend jobs=4 actually measured.
+        record["jobs4_executor"] = type(get_executor(4)).__name__
+    except ImportError:  # pragma: no cover - pre-fallback trees
+        pass
     for jobs in (1, 4):
         start = time.perf_counter()
         results = sweep_algorithms(base, SWEEP_ALGORITHMS, jobs=jobs)
@@ -355,6 +363,108 @@ def record(quick: bool, label: str) -> Dict[str, object]:
     }
 
 
+#: Benches gated by ``--check``: the kernel hot paths every PR must keep.
+#: ``sweep_scaling`` and the faults-overhead scenario are reported but not
+#: gating (they measure pool overhead and fault-path cost, both of which
+#: legitimately move when those subsystems change).
+CORE_BENCHES = (
+    "engine_loop",
+    "forward_event",
+    "figure_scenario",
+    "cache_churn",
+    "table_matching",
+)
+
+
+def compare_records(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float,
+) -> Dict[str, object]:
+    """Compare two ``benches`` dicts; pure so the gate is unit-testable.
+
+    Returns ``{"rows": [...], "regressions": [...]}`` where each row is
+    ``(name, baseline_s, current_s, delta, gating)`` with ``delta`` the
+    fractional slowdown (+0.08 = 8% slower than baseline) and
+    ``regressions`` the core benches whose delta exceeds ``threshold``.
+    Benches present on only one side are skipped (records from different
+    tree generations may not carry the same set).
+    """
+    rows: List[Dict[str, object]] = []
+    regressions: List[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if not (
+            isinstance(base, dict)
+            and isinstance(cur, dict)
+            and isinstance(base.get("seconds"), (int, float))
+            and isinstance(cur.get("seconds"), (int, float))
+            and base["seconds"] > 0
+        ):
+            continue
+        delta = cur["seconds"] / base["seconds"] - 1.0
+        gating = name in CORE_BENCHES
+        regressed = gating and delta > threshold
+        if regressed:
+            regressions.append(name)
+        rows.append(
+            {
+                "name": name,
+                "baseline_seconds": round(float(base["seconds"]), 6),
+                "current_seconds": round(float(cur["seconds"]), 6),
+                "delta": round(delta, 4),
+                "gating": gating,
+                "regressed": regressed,
+            }
+        )
+    return {"rows": rows, "regressions": regressions}
+
+
+def format_delta_table(comparison: Dict[str, object], threshold: float) -> str:
+    """Render the per-bench delta table the gate prints (and uploads)."""
+    lines = [
+        f"{'bench':<18} {'baseline':>10} {'current':>10} {'delta':>8}  status",
+        "-" * 58,
+    ]
+    for row in comparison["rows"]:
+        if row["regressed"]:
+            status = f"REGRESSION (> {threshold:.0%})"
+        elif not row["gating"]:
+            status = "not gating"
+        else:
+            status = "ok"
+        lines.append(
+            f"{row['name']:<18} {row['baseline_seconds']:>9.4f}s "
+            f"{row['current_seconds']:>9.4f}s {row['delta']:>+7.1%}  {status}"
+        )
+    return "\n".join(lines)
+
+
+def _gate_self_test() -> int:
+    """Prove the gate logic works: a synthetic 10% slowdown must fail, a
+    within-threshold wobble must pass.  Exit 0 when both hold."""
+    base = {name: {"seconds": 1.0} for name in CORE_BENCHES}
+    slow = {name: {"seconds": 1.0} for name in CORE_BENCHES}
+    slow["engine_loop"] = {"seconds": 1.10}
+    flagged = compare_records(base, slow, 0.05)["regressions"]
+    wobble = dict(base)
+    wobble["engine_loop"] = {"seconds": 1.04}
+    passed = compare_records(base, wobble, 0.05)["regressions"]
+    non_gating = compare_records(
+        {"sweep_scaling_proxy": {"seconds": 1.0}},
+        {"sweep_scaling_proxy": {"seconds": 2.0}},
+        0.05,
+    )["regressions"]
+    ok = flagged == ["engine_loop"] and passed == [] and non_gating == []
+    print(
+        "gate self-test: "
+        + ("ok (10% slowdown flagged, 4% wobble passed)" if ok else "FAILED"),
+        file=sys.stderr,
+    )
+    return 0 if ok else 1
+
+
 def _speedups(before: Dict[str, object], after: Dict[str, object]) -> Dict[str, float]:
     speedups = {}
     for name, entry in after.items():
@@ -388,17 +498,83 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="a previous record to embed as 'before' (adds per-bench speedups)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate: record fresh numbers, compare against "
+        "--baseline, print the delta table, exit 1 on any core-bench "
+        "regression beyond --threshold",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="fractional slowdown tolerated by --check (default 0.05 = 5%%)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate logic on synthetic data (no benches run)",
+    )
     args = parser.parse_args(argv)
+
+    if args.self_test:
+        return _gate_self_test()
+
+    if args.check and args.baseline is None:
+        parser.error("--check requires --baseline")
 
     print(f"recording ({'quick' if args.quick else 'full'}) ...", file=sys.stderr)
     current = record(args.quick, args.label)
 
-    document: Dict[str, object] = current
+    baseline_benches: Optional[Dict[str, object]] = None
+    before_label = "before"
+    before_date: Optional[str] = None
     if args.baseline is not None:
         baseline = json.loads(args.baseline.read_text())
         # A baseline may itself be a before/after document; compare against
-        # its "after" side then.
+        # its "after" side then.  Nested blocks carry their own label and
+        # date (and older records without a nested date fall back to the
+        # document date) so both round-trip through repeated merges.
         before = baseline.get("after", baseline)
+        baseline_benches = before["benches"]
+        before_label = before.get("label", "before")
+        before_date = before.get("date") or baseline.get("date")
+
+    if args.check:
+        assert baseline_benches is not None
+        comparison = compare_records(
+            baseline_benches, current["benches"], args.threshold
+        )
+        table = format_delta_table(comparison, args.threshold)
+        print(table)
+        if args.output is not None:
+            args.output.write_text(
+                json.dumps(
+                    {
+                        "schema": 1,
+                        "threshold": args.threshold,
+                        "baseline": str(args.baseline),
+                        **comparison,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            print(f"wrote {args.output}", file=sys.stderr)
+        if comparison["regressions"]:
+            print(
+                f"FAIL: {', '.join(comparison['regressions'])} regressed "
+                f"beyond {args.threshold:.0%}",
+                file=sys.stderr,
+            )
+            return 1
+        print("gate passed", file=sys.stderr)
+        return 0
+
+    document: Dict[str, object] = current
+    if baseline_benches is not None:
         document = {
             "schema": 1,
             "date": current["date"],
@@ -407,12 +583,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             "platform": current["platform"],
             "cpu_count": current["cpu_count"],
             "before": {
-                "label": before.get("label", "before"),
-                "date": before.get("date"),
-                "benches": before["benches"],
+                "label": before_label,
+                "date": before_date,
+                "benches": baseline_benches,
             },
-            "after": {"label": current["label"], "benches": current["benches"]},
-            "speedup": _speedups(before["benches"], current["benches"]),
+            "after": {
+                "label": current["label"],
+                "date": current["date"],
+                "benches": current["benches"],
+            },
+            "speedup": _speedups(baseline_benches, current["benches"]),
         }
 
     output = args.output

@@ -128,7 +128,9 @@ def lint_paths(
 
     for path in files:
         rel = config.rel_path(path)
-        file_findings, error = lint_file(path, rel, enabled_for(rel))
+        file_findings, error = lint_file(
+            path, rel, enabled_for(rel), hot_path=config.hot_path
+        )
         findings.extend(file_findings)
         if error is not None:
             errors.append(error)
@@ -151,7 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "AST-based determinism & protocol-invariant linter for the "
-            "epidemic pub-sub reproduction (per-file rules REP001-REP006, "
+            "epidemic pub-sub reproduction (per-file rules REP001-REP007, "
             "whole-program rules REP100-REP105 via --analysis)"
         ),
     )

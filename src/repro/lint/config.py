@@ -13,6 +13,11 @@ Recognised keys::
     disable = ["REP001"]
     # enable = [...] re-enables codes a broader entry (or `ignore`) removed
 
+    [tool.repro-lint.hot-path]             # REP007 registry
+    methods = ["Link._transmit_*"]         # Class.method fnmatch patterns
+    # guards = ["_injector", ...]          # banned per-event config branches
+    #                                      # (defaults to the built-in list)
+
 Paths in patterns are matched against the file's path relative to the
 directory containing ``pyproject.toml`` (the *config root*), in POSIX form.
 A file *outside* the config root has no such relative form and is matched
@@ -37,7 +42,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Set, Tuple
 
-__all__ = ["LintConfig", "PerPath", "load_config", "find_pyproject"]
+__all__ = [
+    "LintConfig",
+    "PerPath",
+    "HotPathConfig",
+    "load_config",
+    "find_pyproject",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +58,20 @@ class PerPath:
     pattern: str
     disable: Tuple[str, ...] = ()
     enable: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class HotPathConfig:
+    """``[tool.repro-lint.hot-path]``: the REP007 registry.
+
+    ``methods`` holds ``Class.method`` fnmatch patterns naming the per-event
+    hot-path methods; REP007 is inert when the list is empty.  ``guards``
+    optionally overrides the built-in list of setup-time-constant attribute
+    patterns that such methods must not branch on.
+    """
+
+    methods: Tuple[str, ...] = ()
+    guards: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -60,6 +85,8 @@ class LintConfig:
     per_path: Tuple[PerPath, ...] = ()
     #: run the whole-program REP1xx analysis by default (CLI flags win).
     analysis: bool = False
+    #: REP007 registry; empty ``methods`` leaves the rule inert.
+    hot_path: HotPathConfig = field(default_factory=HotPathConfig)
 
     def rel_path(self, path: Path) -> str:
         """``path`` relative to the config root, in POSIX form.
@@ -127,6 +154,11 @@ def load_config(pyproject: Path) -> LintConfig:
         )
         for entry in table.get("per-path", ())
     )
+    hot = table.get("hot-path", {})
+    hot_path = HotPathConfig(
+        methods=tuple(str(m) for m in hot.get("methods", ())),
+        guards=tuple(str(g) for g in hot.get("guards", ())),
+    )
     return LintConfig(
         root=pyproject.parent,
         exclude=tuple(table.get("exclude", ())),
@@ -134,6 +166,7 @@ def load_config(pyproject: Path) -> LintConfig:
         ignore=tuple(table.get("ignore", ())),
         per_path=per_path,
         analysis=bool(table.get("analysis", False)),
+        hot_path=hot_path,
     )
 
 

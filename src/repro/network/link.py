@@ -6,20 +6,32 @@ between two dispatchers:
 * **Serialization**: a message of ``size_bits`` occupies the sender side of
   the link for ``size_bits / bandwidth_bps`` seconds; messages queue FIFO
   per direction (each direction has its own transmitter).
+* **Loss**: each transmission is dropped independently with probability
+  ``error_rate`` (the paper's link error rate ε), or by a stateful
+  :class:`~repro.faults.loss.LossModel` when one is installed.  A dropped
+  message still occupies the transmitter -- the bits are sent, they just
+  arrive corrupted and are discarded, as on a real lossy channel.
 * **Propagation**: a fixed ``propagation_delay`` is added after
   serialization completes.
-* **Loss**: each transmission is dropped independently with probability
-  ``error_rate`` (the paper's link error rate ε).  A dropped message still
-  occupies the transmitter -- the bits are sent, they just arrive corrupted
-  and are discarded, as on a real lossy channel.
 * **Outage**: a link can be taken ``down`` by the reconfiguration engine;
   transmissions attempted while down are lost (and counted as drops).
+
+Zero-cost hooks
+---------------
+``transmit`` and ``_deliver`` are *instance attributes bound at setup time*,
+not methods: the constructor picks the lossless, Bernoulli, or loss-model
+transmit variant and the fast or crash-checked delivery variant once, so the
+per-message hot path never branches on configuration that cannot change
+mid-run (see docs/PERFORMANCE.md, "Setup-time method binding").  A fault-free
+link therefore pays nothing for the fault machinery -- no ``loss_model is
+None`` test, no ``error_rate > 0`` test, no down-destination lookup.  The
+only mutation that can change a variant, :meth:`set_error_rate`, rebinds it.
 """
 
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.network.message import Message
 
@@ -76,6 +88,10 @@ class Link:
     loss_model:
         Optional stateful loss model (e.g. Gilbert--Elliott burst loss);
         when set, it replaces the inline Bernoulli ``error_rate`` draw.
+
+    ``transmit(from_node, message) -> bool`` and ``_deliver`` are bound
+    per-instance in the constructor (see the module docstring); the three
+    transmit variants share semantics and differ only in the loss decision.
     """
 
     __slots__ = (
@@ -91,6 +107,10 @@ class Link:
         "stats",
         "_busy_until",
         "_peer",
+        # Setup-time-bound hot-path entry points (instance attributes so the
+        # per-message path never branches on static configuration).
+        "transmit",
+        "_deliver",
     )
 
     def __init__(
@@ -124,6 +144,34 @@ class Link:
         self._busy_until = {node_a: 0.0, node_b: 0.0}
         # Sender id -> opposite endpoint, precomputed for the hot path.
         self._peer = {node_a: node_b, node_b: node_a}
+        self._deliver: Callable[[Message, int, int], None] = (
+            self._deliver_checked if network.fault_hooks else self._deliver_fast
+        )
+        self.transmit: Callable[[int, Message], bool]
+        self._bind_transmit()
+
+    def _bind_transmit(self) -> None:
+        """Select the transmit variant for the current loss configuration."""
+        if self.loss_model is not None:
+            self.transmit = self._transmit_model
+        elif self.error_rate > 0.0:
+            self.transmit = self._transmit_bernoulli
+        else:
+            self.transmit = self._transmit_lossless
+
+    def set_error_rate(self, error_rate: float) -> None:
+        """Change ε and rebind the transmit variant.
+
+        The loss decision is compiled into the bound ``transmit`` variant,
+        so mutating ``error_rate`` directly would not take effect; this is
+        the supported way to change it (tests use it to open and close loss
+        windows).  Ignored for the loss decision while a ``loss_model`` is
+        installed.
+        """
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+        self.error_rate = error_rate
+        self._bind_transmit()
 
     # ------------------------------------------------------------------
     def other_end(self, node: int) -> int:
@@ -138,13 +186,18 @@ class Link:
         return (self.node_a, self.node_b)
 
     # ------------------------------------------------------------------
-    def transmit(self, from_node: int, message: Message) -> bool:
-        """Send ``message`` from ``from_node`` to the opposite endpoint.
+    # transmit variants -- ``self.transmit`` is bound to exactly one of
+    # these.  The shared preamble/postamble is duplicated on purpose: the
+    # whole point is that each variant is straight-line code with no
+    # configuration branches (docs/PERFORMANCE.md).
+    # ------------------------------------------------------------------
+    def _transmit_lossless(self, from_node: int, message: Message) -> bool:
+        """Transmit with ε = 0 and no loss model: no loss draw at all.
 
-        Returns ``True`` if the message was *enqueued for transmission*
-        (delivery is still subject to loss), ``False`` if the link is down.
-        The caller is charged for the send in either case -- a dispatcher
-        cannot know the link state before trying.
+        Returns ``True`` if the message was *enqueued for transmission*,
+        ``False`` if the link is down.  The caller is charged for the send
+        in either case -- a dispatcher cannot know the link state before
+        trying.
         """
         network = self.network
         observer = network.observer
@@ -166,18 +219,6 @@ class Link:
         done = start + serialization
         busy_until[from_node] = done
         stats.busy_time += serialization
-        loss_model = self.loss_model
-        if loss_model is not None:
-            if loss_model.should_drop(self.rng):
-                stats.lost += 1
-                observer.count_drop(kind)
-                return True
-        else:
-            error_rate = self.error_rate
-            if error_rate > 0.0 and self.rng.random() < error_rate:
-                stats.lost += 1
-                observer.count_drop(kind)
-                return True
         # Deliveries are never cancelled, so the handle-free fast path
         # avoids one object allocation per transmission.
         sim.schedule_call_at(
@@ -189,9 +230,100 @@ class Link:
         )
         return True
 
-    def _deliver(self, message: Message, from_node: int, to_node: int) -> None:
-        # A link that went down while the message was in flight also loses it:
-        # the physical channel is gone.
+    def _transmit_bernoulli(self, from_node: int, message: Message) -> bool:
+        """Transmit with the paper's i.i.d. Bernoulli(ε) loss draw."""
+        network = self.network
+        observer = network.observer
+        stats = self.stats
+        kind = message.kind
+        stats.sent += 1
+        observer.count_send(kind, from_node)
+        if not self.up:
+            stats.dropped_down += 1
+            observer.count_drop(kind)
+            return False
+        sim = network.sim
+        serialization = message.size_bits / self.bandwidth_bps
+        busy_until = self._busy_until
+        start = busy_until[from_node]
+        now = sim._now
+        if now > start:
+            start = now
+        done = start + serialization
+        busy_until[from_node] = done
+        stats.busy_time += serialization
+        if self.rng.random() < self.error_rate:
+            stats.lost += 1
+            observer.count_drop(kind)
+            return True
+        sim.schedule_call_at(
+            done + self.propagation_delay,
+            self._deliver,
+            message,
+            from_node,
+            self._peer[from_node],
+        )
+        return True
+
+    def _transmit_model(self, from_node: int, message: Message) -> bool:
+        """Transmit through a stateful loss model (burst loss injection)."""
+        network = self.network
+        observer = network.observer
+        stats = self.stats
+        kind = message.kind
+        stats.sent += 1
+        observer.count_send(kind, from_node)
+        if not self.up:
+            stats.dropped_down += 1
+            observer.count_drop(kind)
+            return False
+        sim = network.sim
+        serialization = message.size_bits / self.bandwidth_bps
+        busy_until = self._busy_until
+        start = busy_until[from_node]
+        now = sim._now
+        if now > start:
+            start = now
+        done = start + serialization
+        busy_until[from_node] = done
+        stats.busy_time += serialization
+        if self.loss_model.should_drop(self.rng):
+            stats.lost += 1
+            observer.count_drop(kind)
+            return True
+        sim.schedule_call_at(
+            done + self.propagation_delay,
+            self._deliver,
+            message,
+            from_node,
+            self._peer[from_node],
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # delivery variants -- ``self._deliver`` is bound to exactly one.
+    # ------------------------------------------------------------------
+    def _deliver_fast(self, message: Message, from_node: int, to_node: int) -> None:
+        """Delivery without crash checks (no fault injection configured)."""
+        # A link that went down while the message was in flight also loses
+        # it: the physical channel is gone.  This is a *dynamic* protocol
+        # condition (reconfiguration), not a configuration flag, so the test
+        # stays even on the fast path.
+        network = self.network
+        if not self.up:
+            self.stats.dropped_down += 1
+            network.observer.count_drop(message.kind)
+            return
+        self.stats.delivered += 1
+        # Network.deliver inlined (count + hand to the node): this runs once
+        # per successful link transmission and the extra frame is measurable.
+        network.observer.count_deliver(message.kind)
+        network._nodes[to_node].receive(message, from_node)
+
+    def _deliver_checked(
+        self, message: Message, from_node: int, to_node: int
+    ) -> None:
+        """Delivery with crashed-destination accounting (fault hooks on)."""
         network = self.network
         if not self.up:
             self.stats.dropped_down += 1
@@ -205,8 +337,6 @@ class Link:
             network.down_drops += 1
             return
         self.stats.delivered += 1
-        # Network.deliver inlined (count + hand to the node): this runs once
-        # per successful link transmission and the extra frame is measurable.
         network.observer.count_deliver(message.kind)
         node.receive(message, from_node)
 

@@ -10,7 +10,7 @@ two dispatchers, independent of the tree, with its own latency and loss.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -94,6 +94,14 @@ class Network:
     oob_loss_model:
         Optional shared loss model for the out-of-band channel, replacing
         the Bernoulli ``oob_error_rate`` draw.
+    fault_hooks:
+        ``True`` when a fault injector may crash nodes mid-run.  The flag
+        selects, once at construction, the crash-aware variants of the
+        per-message delivery paths (``Link._deliver``, ``send_oob``, the
+        out-of-band delivery callback); with the default ``False`` those
+        paths carry zero fault-accounting work and :meth:`set_node_down`
+        refuses to run (see docs/PERFORMANCE.md, "Setup-time method
+        binding").
     """
 
     def __init__(
@@ -104,6 +112,7 @@ class Network:
         observer: Optional[TrafficObserver] = None,
         loss_model_factory: Optional[Callable[[int, int], "LossModel"]] = None,
         oob_loss_model: Optional["LossModel"] = None,
+        fault_hooks: bool = False,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -111,10 +120,11 @@ class Network:
         self.observer: TrafficObserver = observer or _NullObserver()
         self._loss_model_factory = loss_model_factory
         self._oob_loss_model = oob_loss_model
+        self.fault_hooks = fault_hooks
         self._nodes: Dict[int, Node] = {}
         # Nodes currently able to receive: ``_nodes`` minus crashed nodes.
-        # Delivery hot paths do a single ``.get`` here, so a down (or
-        # vanished) destination costs nothing extra on the healthy path.
+        # Crash-aware delivery paths do a single ``.get`` here, so a down
+        # (or vanished) destination costs nothing extra on the healthy path.
         self._receivers: Dict[int, Node] = {}
         self._down: Set[int] = set()
         #: Messages dropped because their destination was down or gone.
@@ -122,6 +132,21 @@ class Network:
         # adjacency: node id -> {neighbor id -> Link}
         self._adjacency: Dict[int, Dict[int, Link]] = {}
         self._links: Dict[Tuple[int, int], Link] = {}
+        # Setup-time binding of the out-of-band hot path: pick the variant
+        # matching the static configuration so the per-message path never
+        # re-tests it.  A stateful oob loss model implies the checked path
+        # (loss models are a fault-injection feature).
+        self._deliver_oob: Callable[[Message, int, int], None]
+        self.send_oob: Callable[[int, int, Message], bool]
+        if fault_hooks or oob_loss_model is not None:
+            self._deliver_oob = self._deliver_oob_checked
+            self.send_oob = self._send_oob_checked
+        else:
+            self._deliver_oob = self._deliver_oob_fast
+            if config.oob_error_rate > 0.0:
+                self.send_oob = self._send_oob_bernoulli
+            else:
+                self.send_oob = self._send_oob_lossless
 
     # ------------------------------------------------------------------
     # Node / link management
@@ -144,6 +169,12 @@ class Network:
         is discarded on arrival as a counted drop, like frames sent to a
         powered-off host.
         """
+        if not self.fault_hooks:
+            raise RuntimeError(
+                "set_node_down requires fault hooks: construct the Network "
+                "with fault_hooks=True (the scenario builder does this "
+                "automatically when a FaultPlan is configured)"
+            )
         if node_id not in self._nodes:
             raise KeyError(f"unknown node {node_id}")
         if down:
@@ -253,7 +284,32 @@ class Network:
             return False
         return link.transmit(from_node, message)
 
-    def send_oob(self, from_node: int, to_node: int, message: Message) -> bool:
+    def set_oob_error_rate(self, rate: float) -> None:
+        """Change the out-of-band Bernoulli loss rate mid-run.
+
+        The loss decision is compiled into the bound ``send_oob`` variant
+        (see ``__init__``), so replacing ``config`` directly would not take
+        effect on the fast path; this setter swaps the config *and* rebinds
+        the variant.  While the checked variant is bound (fault hooks or a
+        stateful oob loss model) no rebinding is needed -- it reads the
+        config dynamically.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"oob_error_rate must be in [0, 1], got {rate}")
+        self.config = replace(self.config, oob_error_rate=rate)
+        if self.fault_hooks or self._oob_loss_model is not None:
+            return
+        self.send_oob = (
+            self._send_oob_bernoulli if rate > 0.0 else self._send_oob_lossless
+        )
+
+    # ------------------------------------------------------------------
+    # Out-of-band channel -- ``self.send_oob`` is bound at construction to
+    # exactly one of the variants below (see __init__); they share the
+    # docstring semantics of the checked variant and differ only in which
+    # static checks they can skip.
+    # ------------------------------------------------------------------
+    def _send_oob_checked(self, from_node: int, to_node: int, message: Message) -> bool:
         """Send over the out-of-band unicast channel (direct, UDP-like).
 
         The channel is independent of the tree: constant latency, optional
@@ -283,10 +339,40 @@ class Network:
         )
         return True
 
+    def _send_oob_bernoulli(
+        self, from_node: int, to_node: int, message: Message
+    ) -> bool:
+        """Out-of-band send, fault-free network, Bernoulli oob loss.
+
+        Without fault injection nodes never leave ``_nodes``, and recovery
+        peers are drawn from the membership, so the unknown-destination
+        check is dead code here.
+        """
+        self.observer.count_send(message.kind, from_node)
+        if self._loss_rng.random() < self.config.oob_error_rate:
+            self.observer.count_drop(message.kind)
+            return True
+        self.sim.schedule_call(
+            self.config.oob_latency, self._deliver_oob, message, from_node, to_node
+        )
+        return True
+
+    def _send_oob_lossless(
+        self, from_node: int, to_node: int, message: Message
+    ) -> bool:
+        """Out-of-band send, fault-free network, lossless oob channel."""
+        self.observer.count_send(message.kind, from_node)
+        self.sim.schedule_call(
+            self.config.oob_latency, self._deliver_oob, message, from_node, to_node
+        )
+        return True
+
     # ------------------------------------------------------------------
     # Delivery plumbing (called by links)
     # ------------------------------------------------------------------
     def deliver(self, message: Message, from_node: int, to_node: int) -> None:
+        """Crash-aware delivery entry point (kept for API compatibility;
+        links bind the matching variant directly)."""
         node = self._receivers.get(to_node)
         if node is None:
             # Destination crashed (or was removed) while the message was in
@@ -297,7 +383,9 @@ class Network:
         self.observer.count_deliver(message.kind)
         node.receive(message, from_node)
 
-    def _deliver_oob(self, message: Message, from_node: int, to_node: int) -> None:
+    def _deliver_oob_checked(
+        self, message: Message, from_node: int, to_node: int
+    ) -> None:
         node = self._receivers.get(to_node)
         if node is None:
             self.observer.count_drop(message.kind)
@@ -305,6 +393,12 @@ class Network:
             return
         self.observer.count_deliver(message.kind)
         node.receive_oob(message, from_node)
+
+    def _deliver_oob_fast(
+        self, message: Message, from_node: int, to_node: int
+    ) -> None:
+        self.observer.count_deliver(message.kind)
+        self._nodes[to_node].receive_oob(message, from_node)
 
     # Counting hooks used by Link ---------------------------------------
     def count_send(self, kind: MessageKind, node_id: int) -> None:

@@ -18,6 +18,7 @@ Design notes
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import (
@@ -36,6 +37,8 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+_log = logging.getLogger(__name__)
 
 __all__ = [
     "ExperimentExecutor",
@@ -122,18 +125,38 @@ def resolve_jobs(jobs: JobsSpec) -> int:
     return jobs
 
 
-def get_executor(jobs: JobsSpec) -> ExperimentExecutor:
+def get_executor(
+    jobs: JobsSpec, *, force_processes: bool = False
+) -> ExperimentExecutor:
     """Build (or pass through) the executor for a ``jobs=`` parameter.
 
     ``None`` and ``1`` select :class:`SerialExecutor`; any other integer
     selects :class:`ProcessExecutor` with that many workers (``0`` and
     negatives mean "all CPUs"); an :class:`ExperimentExecutor` instance is
     returned as-is.
+
+    When the request asks for more workers than the host has cores, a pool
+    cannot run them in parallel -- it only adds pickling and start-up
+    overhead (on the 1-CPU CI host, ``jobs=4`` sweeps measured *slower*
+    than ``jobs=1``).  Such requests therefore fall back to
+    :class:`SerialExecutor` with a logged note; results are bit-identical
+    either way.  Pass ``force_processes=True`` to get the pool regardless
+    (tests proving process isolation does not change results need it).
     """
     if isinstance(jobs, ExperimentExecutor):
         return jobs
     count = resolve_jobs(jobs)
     if count == 1:
+        return SerialExecutor()
+    cpus = os.cpu_count() or 1
+    if count > cpus and not force_processes:
+        _log.info(
+            "jobs=%d exceeds the %d available CPU(s); falling back to the "
+            "serial executor (results are identical; pass "
+            "force_processes=True to keep the pool)",
+            count,
+            cpus,
+        )
         return SerialExecutor()
     return ProcessExecutor(count)
 

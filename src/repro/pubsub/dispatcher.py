@@ -37,6 +37,16 @@ __all__ = ["Dispatcher", "RecoveryHooks", "SUBSCRIBE", "UNSUBSCRIBE"]
 SUBSCRIBE = 1
 UNSUBSCRIBE = 2
 
+# Hot-path aliases: the receive dispatch runs once per delivered message
+# (hundreds of thousands of times per run); a module global is one dict
+# lookup where ``MessageKind.EVENT`` is two.  IntEnum members are
+# singletons, so identity comparison is exact.
+_EVENT = MessageKind.EVENT
+_GOSSIP = MessageKind.GOSSIP
+_SUBSCRIPTION = MessageKind.SUBSCRIPTION
+_OOB_REQUEST = MessageKind.OOB_REQUEST
+_OOB_EVENT = MessageKind.OOB_EVENT
+
 #: Route annotation attached to event messages: tuple of dispatcher ids the
 #: message traversed so far (publisher first).  ``None`` when route
 #: recording is disabled.
@@ -117,6 +127,13 @@ class Dispatcher:
         #: comparator), where epidemic exchange is the sole transport.
         self.tree_routing_enabled: bool = True
         self.recovery: Optional[RecoveryHooks] = None
+        # Network-facing entry points, bound per-instance so the per-message
+        # path never re-tests whether peer-liveness tracking (graceful
+        # degradation) is configured: attach_recovery swaps in the tracked
+        # variants only when a PeerTracker exists (docs/PERFORMANCE.md,
+        # "Setup-time method binding").
+        self.receive: Callable[[Message, int], None] = self._receive_plain
+        self.receive_oob: Callable[[Message, int], None] = self._receive_oob_plain
 
         #: ids of every event ever received (normally or via recovery);
         #: used for duplicate suppression and push-digest checks.
@@ -138,6 +155,13 @@ class Dispatcher:
     # ------------------------------------------------------------------
     def attach_recovery(self, recovery: RecoveryHooks) -> None:
         self.recovery = recovery
+        # getattr: stub recovery objects in tests may omit ``peers``.
+        if getattr(recovery, "peers", None) is not None:
+            # Graceful degradation is on: inbound traffic must feed the
+            # peer-liveness tracker.  Without it the plain variants stay
+            # bound and the hot path carries no tracking work at all.
+            self.receive = self._receive_tracked
+            self.receive_oob = self._receive_oob_tracked
 
     @property
     def local_patterns(self) -> list[int]:
@@ -274,8 +298,15 @@ class Dispatcher:
         self.match_operations += len(patterns)
         if not directions:
             return
-        network_send = self.network.send
         node_id = self.node_id
+        # Straight to the link layer: ``Network.send`` is two dict lookups
+        # plus a dispatch on the bound ``link.transmit`` -- going through it
+        # costs one extra frame per copy on the hottest path in the whole
+        # simulator.  The adjacency row dict is created once per node and
+        # mutated in place by reconfiguration, so reading it here always
+        # sees the live topology; a missing link reproduces Network.send's
+        # counted-loss semantics.
+        links = self.network._adjacency[node_id]
         # One immutable envelope shared by every direction: the network layer
         # never mutates messages, so per-direction copies are pure overhead.
         message = None
@@ -284,9 +315,17 @@ class Dispatcher:
                 continue
             if message is None:
                 message = Message(
-                    MessageKind.EVENT, (event, route), event.event_id.source
+                    _EVENT, (event, route), event.event_id.source
                 )
-            network_send(node_id, direction, message)
+            link = links.get(direction)
+            if link is not None:
+                link.transmit(node_id, message)
+            else:
+                # Routing table points at a broken link: the frame is lost
+                # on the dead wire (send + drop, exactly like Network.send).
+                observer = self.network.observer
+                observer.count_send(_EVENT, node_id)
+                observer.count_drop(_EVENT)
 
     def _handle_event(self, payload: Tuple[Event, Route], from_node: int) -> None:
         event, route = payload
@@ -390,13 +429,28 @@ class Dispatcher:
         self.network.send_oob(self.node_id, to_node, message)
 
     # ------------------------------------------------------------------
-    # Network-facing entry points
+    # Network-facing entry points.  ``receive``/``receive_oob`` are
+    # instance attributes bound to the plain variants at construction and
+    # swapped for the tracked variants by :meth:`attach_recovery` when a
+    # peer-liveness tracker exists.
     # ------------------------------------------------------------------
-    def receive(self, message: Message, from_node: int) -> None:
+    def _receive_plain(self, message: Message, from_node: int) -> None:
         kind = message.kind
-        if kind == MessageKind.EVENT:
+        if kind is _EVENT:
             self._handle_event(message.payload, from_node)
-        elif kind == MessageKind.GOSSIP:
+        elif kind is _GOSSIP:
+            recovery = self.recovery
+            if recovery is not None:
+                recovery.handle_gossip(message.payload, from_node)
+        elif kind is _SUBSCRIPTION:
+            self._handle_subscription(message.payload, from_node)
+        # CONTROL and unknown kinds are ignored by design.
+
+    def _receive_tracked(self, message: Message, from_node: int) -> None:
+        kind = message.kind
+        if kind is _EVENT:
+            self._handle_event(message.payload, from_node)
+        elif kind is _GOSSIP:
             recovery = self.recovery
             if recovery is not None:
                 if recovery.peers is not None:
@@ -404,21 +458,30 @@ class Dispatcher:
                     # degradation; no-op dict miss when nothing is tracked).
                     recovery.peers.note_response(from_node)
                 recovery.handle_gossip(message.payload, from_node)
-        elif kind == MessageKind.SUBSCRIPTION:
+        elif kind is _SUBSCRIPTION:
             self._handle_subscription(message.payload, from_node)
         # CONTROL and unknown kinds are ignored by design.
 
-    def receive_oob(self, message: Message, from_node: int) -> None:
+    def _receive_oob_plain(self, message: Message, from_node: int) -> None:
+        kind = message.kind
+        if kind is _OOB_REQUEST:
+            recovery = self.recovery
+            if recovery is not None:
+                recovery.handle_oob_request(message.payload, from_node)
+        elif kind is _OOB_EVENT:
+            self.receive_recovered_event(message.payload)
+
+    def _receive_oob_tracked(self, message: Message, from_node: int) -> None:
         kind = message.kind
         recovery = self.recovery
         if recovery is not None and recovery.peers is not None:
             # Out-of-band traffic (requests and retransmissions) also proves
             # the sender is alive.
             recovery.peers.note_response(from_node)
-        if kind == MessageKind.OOB_REQUEST:
+        if kind is _OOB_REQUEST:
             if recovery is not None:
                 recovery.handle_oob_request(message.payload, from_node)
-        elif kind == MessageKind.OOB_EVENT:
+        elif kind is _OOB_EVENT:
             self.receive_recovered_event(message.payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

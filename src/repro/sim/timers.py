@@ -56,6 +56,12 @@ class PeriodicTimer:
         self._handle: Optional[ScheduledEvent] = None
         self._ticks = 0
         self._running = False
+        # Tick handler bound once: most timers never jitter, and their tick
+        # path runs once per gossip round per dispatcher -- no reason to ask
+        # "is there a jitter function?" millions of times per run.
+        self._fire: Callable[[], None] = (
+            self._fire_plain if jitter_fn is None else self._fire_jitter
+        )
 
     @property
     def ticks(self) -> int:
@@ -86,7 +92,7 @@ class PeriodicTimer:
             raise SimulationError(f"timer period must be positive, got {period}")
         self.period = period
 
-    def _fire(self) -> None:
+    def _fire_plain(self) -> None:
         if not self._running:
             return
         self._ticks += 1
@@ -94,10 +100,19 @@ class PeriodicTimer:
         if not self._running:
             # The callback may have stopped the timer.
             return
-        delay = self.period
-        if self._jitter_fn is not None:
-            delay = max(1e-9, delay + self._jitter_fn())
-        self._handle = self._sim.schedule(delay, self._fire)
+        self._handle = self._sim.schedule(self.period, self._fire_plain)
+
+    def _fire_jitter(self) -> None:
+        if not self._running:
+            return
+        self._ticks += 1
+        self._callback()
+        if not self._running:
+            # The callback may have stopped the timer.
+            return
+        assert self._jitter_fn is not None  # bound only when jitter is set
+        delay = max(1e-9, self.period + self._jitter_fn())
+        self._handle = self._sim.schedule(delay, self._fire_jitter)
 
 
 class Timeout:

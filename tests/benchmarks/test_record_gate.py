@@ -1,0 +1,146 @@
+"""Unit tests for the benchmark regression gate in ``benchmarks/record.py``.
+
+The gate's comparison logic is pure (``compare_records``), so it can be
+tested on synthetic records without running a single benchmark.  The
+merge-path tests cover the before/after embedding bug fixed in PR 5: the
+``before`` block used to be stamped ``label: "after"`` / ``date: null``
+when merging against a document that was itself a before/after record.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_record", REPO_ROOT / "benchmarks" / "record.py"
+)
+record = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_record", record)
+_spec.loader.exec_module(record)
+
+
+def _benches(**seconds):
+    return {name: {"seconds": value} for name, value in seconds.items()}
+
+
+class TestCompareRecords:
+    def test_ten_percent_slowdown_is_flagged(self):
+        base = _benches(engine_loop=1.0, forward_event=0.2)
+        slow = _benches(engine_loop=1.10, forward_event=0.2)
+        comparison = record.compare_records(base, slow, 0.05)
+        assert comparison["regressions"] == ["engine_loop"]
+        (row,) = [r for r in comparison["rows"] if r["name"] == "engine_loop"]
+        assert row["regressed"] is True
+        assert row["delta"] == pytest.approx(0.10, abs=1e-4)
+
+    def test_within_threshold_wobble_passes(self):
+        base = _benches(engine_loop=1.0)
+        wobble = _benches(engine_loop=1.04)
+        assert record.compare_records(base, wobble, 0.05)["regressions"] == []
+
+    def test_non_core_benches_never_gate(self):
+        base = {"sweep_scaling": {"jobs1": 1.0}, "custom": {"seconds": 1.0}}
+        cur = {"sweep_scaling": {"jobs1": 9.0}, "custom": {"seconds": 9.0}}
+        comparison = record.compare_records(base, cur, 0.05)
+        assert comparison["regressions"] == []
+        (row,) = comparison["rows"]  # sweep_scaling has no "seconds": skipped
+        assert row["name"] == "custom"
+        assert row["gating"] is False
+
+    def test_benches_on_one_side_only_are_skipped(self):
+        base = _benches(engine_loop=1.0, retired_bench=3.0)
+        cur = _benches(engine_loop=1.0, new_bench=2.0)
+        names = [r["name"] for r in record.compare_records(base, cur, 0.05)["rows"]]
+        assert names == ["engine_loop"]
+
+    def test_speedups_are_not_regressions(self):
+        base = _benches(engine_loop=1.0, figure_scenario=4.0)
+        fast = _benches(engine_loop=0.8, figure_scenario=3.5)
+        comparison = record.compare_records(base, fast, 0.05)
+        assert comparison["regressions"] == []
+        assert all(r["delta"] < 0 for r in comparison["rows"])
+
+    def test_format_delta_table_marks_status(self):
+        base = _benches(engine_loop=1.0, custom=1.0)
+        cur = _benches(engine_loop=1.2, custom=1.2)
+        comparison = record.compare_records(base, cur, 0.05)
+        table = record.format_delta_table(comparison, 0.05)
+        assert "REGRESSION" in table
+        assert "not gating" in table
+
+    def test_gate_self_test_passes(self):
+        assert record._gate_self_test() == 0
+
+
+class TestBaselineMerge:
+    """End-to-end ``main()`` runs in quick mode over temp files."""
+
+    def _record_quick(self, tmp_path, name, extra=()):
+        out = tmp_path / name
+        assert record.main(["--quick", "--output", str(out), *extra]) == 0
+        return out
+
+    def test_merge_against_merged_document_round_trips_label_and_date(
+        self, tmp_path
+    ):
+        plain = self._record_quick(tmp_path, "a.json", ["--label", "gen0"])
+        merged = self._record_quick(
+            tmp_path, "b.json", ["--label", "gen1", "--baseline", str(plain)]
+        )
+        doc = json.loads(merged.read_text())
+        assert doc["before"]["label"] == "gen0"
+        assert doc["before"]["date"] == json.loads(plain.read_text())["date"]
+        assert doc["after"]["label"] == "gen1"
+        assert doc["after"]["date"] == doc["date"]
+        # Merge a third generation against the merged doc: its "after" side
+        # becomes the new "before", keeping gen1's label and date intact.
+        remerged = self._record_quick(
+            tmp_path, "c.json", ["--label", "gen2", "--baseline", str(merged)]
+        )
+        redoc = json.loads(remerged.read_text())
+        assert redoc["before"]["label"] == "gen1"
+        assert redoc["before"]["date"] == doc["after"]["date"]
+        assert redoc["before"]["date"] is not None
+
+    def test_check_mode_gates_against_doctored_baseline(self, tmp_path):
+        plain = self._record_quick(tmp_path, "base.json", ["--label", "base"])
+        doc = json.loads(plain.read_text())
+        # An impossibly fast baseline: every core bench must "regress".
+        for name in record.CORE_BENCHES:
+            if name in doc["benches"]:
+                doc["benches"][name]["seconds"] = 1e-9
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(doc))
+        delta = tmp_path / "delta.json"
+        code = record.main(
+            [
+                "--quick",
+                "--check",
+                "--baseline",
+                str(doctored),
+                "--output",
+                str(delta),
+            ]
+        )
+        assert code == 1
+        report = json.loads(delta.read_text())
+        assert report["regressions"]
+        # An impossibly slow baseline gates green.
+        for name in doc["benches"]:
+            if "seconds" in doc["benches"][name]:
+                doc["benches"][name]["seconds"] = 1e9
+        doctored.write_text(json.dumps(doc))
+        assert (
+            record.main(["--quick", "--check", "--baseline", str(doctored)]) == 0
+        )
+
+    def test_check_requires_baseline(self, capsys):
+        with pytest.raises(SystemExit):
+            record.main(["--check"])

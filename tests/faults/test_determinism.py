@@ -4,7 +4,7 @@ Two contracts:
 
 1. **Faulted runs replay**: the same seed + FaultPlan produces identical
    ``RunResult.signature()`` tuples when repeated and across ``jobs=1`` vs
-   ``jobs=4`` executions.
+   four-worker process-pool executions.
 2. **Faults-disabled runs are frozen**: with ``faults=None`` and
    ``degradation=None``, signatures are byte-identical to the recorded
    pre-fault-layer baselines (``baseline_signatures.json``, generated on
@@ -26,7 +26,7 @@ from repro.faults import (
     PartitionProcess,
     scripted_crashes,
 )
-from repro.parallel import map_scenarios
+from repro.parallel import ProcessExecutor, map_scenarios
 from repro.recovery.degrade import DegradationConfig
 from repro.scenarios.config import SimulationConfig
 from repro.scenarios.runner import run_scenario
@@ -107,7 +107,7 @@ class TestFaultedDeterminism:
             FAULTED_CONFIG.replace(faults=None, degradation=None),
         ]
         serial = map_scenarios(configs, jobs=1)
-        fanned = map_scenarios(configs, jobs=4)
+        fanned = map_scenarios(configs, jobs=ProcessExecutor(4))
         for left, right in zip(serial, fanned):
             assert left.signature() == right.signature()
 

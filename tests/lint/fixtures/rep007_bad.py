@@ -1,0 +1,18 @@
+"""REP007 bad: per-event configuration guards inside hot-path methods.
+
+Matched by the test config's ``methods = ["FastLink._transmit_*"]``.
+"""
+
+
+class FastLink:
+    def __init__(self, injector=None, loss_model=None):
+        self._injector = injector
+        self._loss_model = loss_model
+        self.sent = 0
+
+    def _transmit_fast(self, message):
+        self.sent += 1
+        if self._injector is not None:  # static config checked per event
+            self._injector.on_send(message)
+        drop = self._loss_model.draw() if self._loss_model else False
+        return not drop

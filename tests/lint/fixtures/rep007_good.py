@@ -1,0 +1,23 @@
+"""REP007 good: the branch is resolved once, at construction time.
+
+The checked variant may *read* the guard attributes unconditionally; only
+per-event conditionals on them are banned.
+"""
+
+
+class FastLink:
+    def __init__(self, injector=None):
+        self._injector = injector
+        self.sent = 0
+        self.transmit = (
+            self._transmit_checked if injector is not None else self._transmit_fast
+        )
+
+    def _transmit_fast(self, message):
+        self.sent += 1
+        return True
+
+    def _transmit_checked(self, message):
+        self.sent += 1
+        self._injector.on_send(message)
+        return True

@@ -133,7 +133,7 @@ class TestLoss:
         network, a, b = make_pair(sim, config)
         network.send(0, 1, event_message(size_bits=10_000))
         # Lower the error rate after the first (lost) message is queued.
-        network.link(0, 1).error_rate = 0.0
+        network.link(0, 1).set_error_rate(0.0)
         network.send(0, 1, event_message(size_bits=10_000))
         sim.run()
         # Second message waits for the first one's serialization slot.

@@ -58,9 +58,32 @@ def test_resolve_jobs():
 def test_get_executor_selection():
     assert isinstance(get_executor(None), SerialExecutor)
     assert isinstance(get_executor(1), SerialExecutor)
-    process = get_executor(4)
+    process = get_executor(4, force_processes=True)
     assert isinstance(process, ProcessExecutor)
     assert process.jobs == 4
+
+
+def test_get_executor_falls_back_to_serial_when_oversubscribed(
+    monkeypatch, caplog
+):
+    import repro.parallel.executor as executor_module
+
+    monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 2)
+    with caplog.at_level("INFO", logger="repro.parallel.executor"):
+        fallback = get_executor(4)
+    assert isinstance(fallback, SerialExecutor)
+    assert any("falling back" in record.message for record in caplog.records)
+    # At or below the core count, the pool is still used.
+    assert isinstance(get_executor(2), ProcessExecutor)
+
+
+def test_get_executor_force_processes_overrides_fallback(monkeypatch):
+    import repro.parallel.executor as executor_module
+
+    monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 1)
+    forced = get_executor(4, force_processes=True)
+    assert isinstance(forced, ProcessExecutor)
+    assert forced.jobs == 4
 
 
 def test_get_executor_passes_instances_through():

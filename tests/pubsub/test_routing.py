@@ -132,7 +132,7 @@ class TestReliableDelivery:
         space = PatternSpace(5)
         tree = path_tree(3)
         system = build_system(sim, tree, space, error_rate=0.0)
-        system.network.link(0, 1).error_rate = 1.0
+        system.network.link(0, 1).set_error_rate(1.0)
         log = DeliveryLog()
         system.set_delivery_callback(log)
         system.apply_subscriptions({0: (), 1: (1,), 2: (1,)})

@@ -76,11 +76,11 @@ class RecoveryHarness:
         """Publish one event while the given links drop everything, then
         drain the in-flight traffic and restore the links."""
         for a, b in dead_links:
-            self.network.link(a, b).error_rate = 1.0
+            self.network.link(a, b).set_error_rate(1.0)
         event = self.system.publish(node_id, patterns)
         self.run_for(0.01)
         for a, b in dead_links:
-            self.network.link(a, b).error_rate = 0.0
+            self.network.link(a, b).set_error_rate(0.0)
         return event
 
     def run_for(self, duration: float) -> None:

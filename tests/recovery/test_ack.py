@@ -61,14 +61,10 @@ class TestAckProtocol:
     def test_gives_up_after_retry_budget(self):
         harness = make_harness({0: (1,), 1: (), 2: (1,)})
         # Permanently sever node 2: the ACK can never arrive.
-        harness.network.link(1, 2).error_rate = 1.0
+        harness.network.link(1, 2).set_error_rate(1.0)
         harness.publish(0, (1,))
         # Block the out-of-band path too by dropping all OOB traffic.
-        import dataclasses
-
-        harness.network.config = dataclasses.replace(
-            harness.network.config, oob_error_rate=1.0
-        )
+        harness.network.set_oob_error_rate(1.0)
         harness.run_for(5.0)
         publisher = harness.recovery(0)
         assert publisher.pending_events == 0

@@ -72,6 +72,25 @@ def _make_events(count: int, n_patterns: int, seed: int) -> List[Event]:
     return events
 
 
+def _max_rss_kb() -> Optional[int]:
+    """Peak resident-set size of this process, in KB.
+
+    ``ru_maxrss`` is a high-water mark: it only ever grows, so per-bench
+    readings are monotone within one record and the *first* bench to touch
+    a lot of memory dominates the rest.  Compare the same bench name
+    across records (the bench order is fixed), not benches within one.
+    Linux reports KB, macOS bytes; ``None`` on hosts without ``resource``.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX hosts
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes, not KB, there
+        peak //= 1024
+    return int(peak)
+
+
 def _time(fn: Callable[[], object], repeats: int) -> Dict[str, float]:
     """Best-of-``repeats`` wall time of ``fn`` (plus the last return value
     when it is numeric, as a sanity check that work actually happened)."""
@@ -335,6 +354,9 @@ def record(quick: bool, label: str) -> Dict[str, object]:
         if entry is None:
             print(" skipped (layer not present)", file=sys.stderr)
             continue
+        peak = _max_rss_kb()
+        if peak is not None:
+            entry["max_rss_kb"] = peak
         benches[name] = entry
         print(f" {entry['seconds']:.3f}s", file=sys.stderr)
     print("  sweep_scaling ...", end="", flush=True, file=sys.stderr)
@@ -342,6 +364,9 @@ def record(quick: bool, label: str) -> Dict[str, object]:
     if scaling is None:
         print(" skipped (no repro.parallel)", file=sys.stderr)
     else:
+        peak = _max_rss_kb()
+        if peak is not None:
+            scaling["max_rss_kb"] = peak
         benches["sweep_scaling"] = scaling
         print(
             f" jobs1={scaling['jobs1_seconds']:.3f}s "

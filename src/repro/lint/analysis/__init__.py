@@ -1,4 +1,4 @@
-"""Whole-program analysis for the REP100–REP105 rule family.
+"""Whole-program analysis: REP100–REP105 plus the REP200-series.
 
 Layered below :mod:`repro.lint.cli`:
 
@@ -8,20 +8,45 @@ Layered below :mod:`repro.lint.cli`:
 * :mod:`~repro.lint.analysis.dataflow` — intraprocedural facts: local
   alias maps, self-attribute reads/mutations, and the per-path
   mutated-vs-invalidated abstract interpretation behind REP100.
-* :mod:`~repro.lint.analysis.rules` — the six cross-module rules.
+* :mod:`~repro.lint.analysis.layers` — the declared layer map resolved
+  over the analyzed modules, with import edges (REP200, --arch-report).
+* :mod:`~repro.lint.analysis.effects` — interprocedural effect inference
+  over the resolvable call graph (REP201/REP202/REP204, --arch-report).
+* :mod:`~repro.lint.analysis.rules` — the six cross-module protocol
+  rules (REP100–REP105).
+* :mod:`~repro.lint.analysis.arch_rules` — the six architecture rules
+  (REP200–REP205) over the shared :class:`ArchContext`.
 * :mod:`~repro.lint.analysis.engine` — orchestration + suppression/config
-  filtering, producing ordinary :class:`~repro.lint.findings.Finding`\\ s.
+  filtering, producing ordinary :class:`~repro.lint.findings.Finding`\\ s,
+  and the ``--arch-report`` data builder.
 """
 
-from .engine import run_analysis
+from .arch_rules import ARCH_RULES, ArchContext, arch_codes
+from .engine import ALL_ANALYSIS_RULES, build_arch_report, run_analysis
 from .model import Project, build_project
-from .rules import ANALYSIS_RULES, analysis_codes, analysis_rules_by_code
+
+#: Every whole-program rule, both families — the public catalogue.
+ANALYSIS_RULES = ALL_ANALYSIS_RULES
+
+
+def analysis_codes():
+    """Codes whose selection implies the whole-program analysis."""
+    return [rule.code for rule in ANALYSIS_RULES]
+
+
+def analysis_rules_by_code():
+    return {rule.code: rule for rule in ANALYSIS_RULES}
+
 
 __all__ = [
     "run_analysis",
+    "build_arch_report",
     "Project",
     "build_project",
+    "ArchContext",
     "ANALYSIS_RULES",
+    "ARCH_RULES",
     "analysis_codes",
+    "arch_codes",
     "analysis_rules_by_code",
 ]

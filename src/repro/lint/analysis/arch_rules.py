@@ -1,0 +1,592 @@
+"""The architecture rule family, REP200–REP205.
+
+Where REP100–REP105 police cross-module *protocol* contracts, these rules
+police the declared architecture itself — the properties the ROADMAP's
+scale-out items depend on:
+
+========  ==============================================================
+REP200    import from a higher layer (engine must not know the protocol)
+REP201    sim-time/engine access in confined-layer code outside the
+          declared touchpoint allowlist (engine-independence)
+REP202    mutable module-global (or class-level mutable attribute)
+          reachable from per-node methods (partition safety)
+REP203    per-node/per-event class without ``__slots__`` (memory lean)
+REP204    RNG stream requested off the consuming subsystem's declared
+          named streams, or with a dynamic name (reproducibility)
+REP205    set iteration order escaping into send/schedule (determinism)
+========  ==============================================================
+
+All six share one :class:`ArchContext` — the resolved layer map, the
+interprocedural effect sets, and the per-node class closure — built once
+per analysis run.  The layer map comes from ``[tool.repro-lint.layers]``;
+with no declared layers, REP200–REP203 are inert and REP204/REP205 fall
+back to their config-independent checks (dynamic stream names, escaping
+set iteration).
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..config import LintConfig
+from .effects import (
+    EffectMap,
+    FunctionEffects,
+    GLOBAL_MUT_PREFIX,
+    SIM_EFFECTS,
+    STREAM_PREFIX,
+    StreamRequest,
+    infer_effects,
+    per_node_classes,
+    stream_name,
+)
+from .layers import LayerMap, build_layer_map
+from .model import ClassInfo, FunctionInfo, ModuleInfo, Project, dotted_parts
+from .rules import AddFn, AnalysisRule, _SCHEDULE_ATTRS, _SEND_ATTRS
+
+__all__ = ["ArchContext", "ArchRule", "ARCH_RULES", "arch_codes"]
+
+#: Base-class names (suffix match) whose subclasses need no ``__slots__``
+#: audit: enum members are singletons, protocols/ABCs are never
+#: instantiated, exceptions are cold-path.
+_SLOTS_EXEMPT_BASES = (
+    "Enum", "IntEnum", "StrEnum", "IntFlag", "Flag", "Protocol",
+    "NamedTuple", "TypedDict", "ABC", "Exception", "Error", "Warning",
+)
+
+_SET_FACTORIES = frozenset({"set", "frozenset"})
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+class ArchContext:
+    """Everything the REP200-series shares: one build per analysis run."""
+
+    def __init__(self, project: Project, config: LintConfig) -> None:
+        self.project = project
+        self.config = config
+        self.layer_map: LayerMap = build_layer_map(config.layers, project)
+        self.effects: EffectMap = infer_effects(project, self.layer_map)
+        # With a layer map declared, only loops in *mapped* modules seed
+        # per-node cardinality: benchmark/driver sweeps construct whole
+        # simulations in loops without making the engine "per-node".
+        in_scope = None
+        if config.layers.order:
+            in_scope = (
+                lambda module_name: config.layers.layer_of(module_name)
+                is not None
+            )
+        #: per-node/per-event class qualname -> reason.
+        self.per_node: Dict[str, str] = per_node_classes(
+            project, self.effects, in_scope
+        )
+
+    # ------------------------------------------------------------------
+    def below_top(self, module_name: str) -> bool:
+        """Mapped to a layer strictly below the top one?"""
+        order = self.config.layers.order
+        if not order:
+            return False
+        layer = self.layer_map.layer_of_module(module_name)
+        return layer is not None and layer != order[-1]
+
+    def is_touchpoint(self, function: FunctionInfo) -> bool:
+        names = [function.qualname, function.name]
+        if function.cls is not None:
+            names.append(f"{function.cls.name}.{function.name}")
+        return self.config.layers.is_touchpoint(*names)
+
+    def declared_streams(self, module_name: str) -> Optional[Tuple[str, ...]]:
+        """Allowed stream-name patterns for ``module_name`` (longest
+        declared subsystem prefix wins); ``None`` when undeclared."""
+        best: Optional[Tuple[str, ...]] = None
+        best_len = -1
+        for prefix, patterns in self.config.rng_streams:
+            if module_name == prefix or module_name.startswith(prefix + "."):
+                if len(prefix) > best_len:
+                    best, best_len = patterns, len(prefix)
+        return best
+
+
+class ArchRule(AnalysisRule):
+    """Base class for rules that consume the shared :class:`ArchContext`."""
+
+    def run(self, project: Project, add: AddFn) -> None:  # pragma: no cover
+        raise RuntimeError(
+            f"{self.code} needs an ArchContext; use run_arch()"
+        )
+
+    def run_arch(self, ctx: ArchContext, add: AddFn) -> None:
+        raise NotImplementedError
+
+
+class LayerImportRule(ArchRule):
+    """REP200: no layer imports a layer above it."""
+
+    code = "REP200"
+    name = "layer-import"
+    summary = (
+        "module imports a higher layer of the declared layer map; the "
+        "engine/transport must stay ignorant of the protocol built on it"
+    )
+
+    def run_arch(self, ctx: ArchContext, add: AddFn) -> None:
+        for edge in ctx.layer_map.violations():
+            add(
+                edge.source,
+                edge.node,
+                self.code,
+                f"{edge.source.name} ({edge.source_layer} layer) imports "
+                f"{edge.target} ({edge.target_layer} layer), which sits "
+                "above it in the declared layer map; invert the dependency "
+                "or move the shared piece down",
+            )
+
+
+class EngineTouchpointRule(ArchRule):
+    """REP201: confined-layer code reaches the engine only via touchpoints."""
+
+    code = "REP201"
+    name = "engine-touchpoint"
+    summary = (
+        "protocol-layer function reads the simulation clock, schedules, or "
+        "holds an engine reference outside the declared touchpoint "
+        "allowlist; the runtime-interface split needs protocol code to be "
+        "engine-independent"
+    )
+
+    def run_arch(self, ctx: ArchContext, add: AddFn) -> None:
+        for qualname in sorted(ctx.effects.functions):
+            record = ctx.effects.functions[qualname]
+            function = record.function
+            if not ctx.layer_map.is_confined(function.module.name):
+                continue
+            sim_effects = record.effects & SIM_EFFECTS
+            if not sim_effects or ctx.is_touchpoint(function):
+                continue
+            direct = sorted(sim_effects & record.direct)
+            if direct:
+                effect = direct[0]
+                site = record.sites.get(effect, function.node)
+                how = f"has direct {', '.join(direct)} access"
+            else:
+                effect = sorted(sim_effects)[0]
+                site = function.node
+                how = (
+                    f"inherits {', '.join(sorted(sim_effects))} via "
+                    f"{record.via.get(effect, 'a callee')}()"
+                )
+            add(
+                function.module,
+                site,
+                self.code,
+                f"{qualname} ({ctx.layer_map.layer_of_module(function.module.name)} "
+                f"layer) {how}; route it through a declared engine "
+                "touchpoint or add one to "
+                "[tool.repro-lint.layers] engine-touchpoints",
+            )
+
+
+class SharedStateRule(ArchRule):
+    """REP202: per-node code never mutates module-global state."""
+
+    code = "REP202"
+    name = "shared-mutable-state"
+    summary = (
+        "per-node class keeps or mutates shared mutable state (module "
+        "global or class-level container); partitioned multi-core "
+        "execution requires node state to be process-local"
+    )
+
+    def run_arch(self, ctx: ArchContext, add: AddFn) -> None:
+        for qualname in sorted(ctx.per_node):
+            cls = ctx.project.classes.get(qualname)
+            if cls is None or not ctx.below_top(cls.module.name):
+                continue
+            self._check_class_attrs(cls, add)
+            self._check_methods(ctx, cls, add)
+
+    def _check_class_attrs(self, cls: ClassInfo, add: AddFn) -> None:
+        from .effects import _is_mutable_value
+
+        for stmt in cls.node.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not _is_mutable_value(cls.module, value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id != "__slots__":
+                    add(
+                        cls.module,
+                        stmt,
+                        self.code,
+                        f"per-node class {cls.name} declares class-level "
+                        f"mutable attribute '{target.id}'; every node "
+                        "shares one container — move it into __init__",
+                    )
+
+    def _check_methods(self, ctx: ArchContext, cls: ClassInfo, add: AddFn) -> None:
+        for method in cls.methods.values():
+            record = ctx.effects.of(method.qualname)
+            if record is None:
+                continue
+            muts = sorted(
+                e for e in record.effects if e.startswith(GLOBAL_MUT_PREFIX)
+            )
+            if not muts:
+                continue
+            effect = muts[0]
+            target = effect[len(GLOBAL_MUT_PREFIX):]
+            site = record.sites.get(effect, method.node)
+            via = (
+                ""
+                if effect in record.direct
+                else f" (via {record.via.get(effect, 'a callee')}())"
+            )
+            add(
+                cls.module,
+                site,
+                self.code,
+                f"per-node method {cls.name}.{method.name}() mutates "
+                f"module-global '{target}'{via}; shared mutable state "
+                "breaks partitioned execution — keep node state on the "
+                "instance",
+            )
+
+
+class SlotsRule(ArchRule):
+    """REP203: per-node/per-event classes carry ``__slots__``."""
+
+    code = "REP203"
+    name = "per-node-slots"
+    summary = (
+        "class instantiated per-node/per-event lacks __slots__ (or "
+        "inherits a __dict__ from a slotless base); at 100k nodes the "
+        "per-instance dict dominates memory"
+    )
+
+    def run_arch(self, ctx: ArchContext, add: AddFn) -> None:
+        reported: Set[str] = set()
+        for qualname in sorted(ctx.per_node):
+            cls = ctx.project.classes.get(qualname)
+            if cls is None or not ctx.below_top(cls.module.name):
+                continue
+            if ctx.config.slots.is_exempt(cls.qualname, cls.name):
+                continue
+            if self._exempt_ancestry(ctx, cls):
+                continue
+            offender = self._slotless_ancestor(cls)
+            if offender is None or offender.qualname in reported:
+                continue
+            reported.add(offender.qualname)
+            where = (
+                ""
+                if offender is cls
+                else f" (via slotless base {offender.name})"
+            )
+            add(
+                offender.module,
+                offender.node,
+                self.code,
+                f"{offender.name} is instantiated per-node/per-event "
+                f"({ctx.per_node[qualname]}) but has no __slots__{where}; "
+                "add __slots__ (or dataclass(slots=True)), or exempt it "
+                "under [tool.repro-lint.slots]",
+            )
+
+    @staticmethod
+    def _exempt_ancestry(ctx: ArchContext, cls: ClassInfo) -> bool:
+        """Enums/protocols/exceptions, and classes with unresolved external
+        bases we cannot audit, are skipped."""
+        for name in cls.ancestry_names():
+            short = name.split(".")[-1]
+            if short.endswith(_SLOTS_EXEMPT_BASES):
+                return True
+            if (
+                name not in ctx.project.classes
+                and name != cls.qualname
+                and "." in name
+            ):
+                # unresolved non-local base: slots status unknowable
+                if ctx.project.lookup(name) is None:
+                    return True
+        return False
+
+    def _slotless_ancestor(self, cls: ClassInfo) -> Optional[ClassInfo]:
+        for ancestor in cls.mro():
+            if not self._is_slotted(ancestor):
+                return ancestor
+        return None
+
+    @staticmethod
+    def _is_slotted(cls: ClassInfo) -> bool:
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        for decorator in cls.node.decorator_list:
+            if isinstance(decorator, ast.Call):
+                parts = dotted_parts(decorator.func)
+                if parts and parts[-1] == "dataclass":
+                    for kw in decorator.keywords:
+                        if (
+                            kw.arg == "slots"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True
+                        ):
+                            return True
+        return False
+
+
+class RngStreamRule(ArchRule):
+    """REP204: stream requests stay on the consumer's declared streams."""
+
+    code = "REP204"
+    name = "rng-stream-discipline"
+    summary = (
+        "RandomStreams stream requested with a dynamic name, or off the "
+        "consuming subsystem's declared stream names; named streams are "
+        "the reproducibility contract between subsystems"
+    )
+
+    def run_arch(self, ctx: ArchContext, add: AddFn) -> None:
+        for qualname in sorted(ctx.effects.functions):
+            record = ctx.effects.functions[qualname]
+            for request in record.stream_requests:
+                self._check_request(ctx, record, request, add)
+            self._check_inherited(ctx, record, add)
+
+    def _check_request(
+        self,
+        ctx: ArchContext,
+        record: FunctionEffects,
+        request: StreamRequest,
+        add: AddFn,
+    ) -> None:
+        module = record.function.module
+        if request.name is None:
+            add(
+                module,
+                request.node,
+                self.code,
+                f"{record.function.qualname} requests a RandomStreams "
+                "stream with a dynamic name; stream names are the "
+                "reproducibility contract — use a literal (f-strings with "
+                "a literal prefix are fine)",
+            )
+            return
+        patterns = ctx.declared_streams(request.consumer)
+        if patterns is None:
+            return
+        if not any(fnmatch.fnmatch(request.name, p) for p in patterns):
+            add(
+                module,
+                request.node,
+                self.code,
+                f"stream '{request.name}' is handed to {request.consumer}, "
+                f"whose declared streams are {', '.join(patterns)}; draw "
+                "from the consuming subsystem's own named stream "
+                "(see [tool.repro-lint.rng-streams])",
+            )
+
+    def _check_inherited(
+        self, ctx: ArchContext, record: FunctionEffects, add: AddFn
+    ) -> None:
+        """A declared subsystem inheriting a foreign stream through an
+        *undeclared* helper is laundering; flag the caller."""
+        module = record.function.module
+        patterns = ctx.declared_streams(module.name)
+        if patterns is None:
+            return
+        for effect in sorted(record.effects - record.direct):
+            if not effect.startswith(STREAM_PREFIX):
+                continue
+            name, origin = stream_name(effect)
+            if name == "?" or ctx.declared_streams(origin) is not None:
+                continue  # dynamic/declared origins are flagged at the site
+            if not any(fnmatch.fnmatch(name, p) for p in patterns):
+                add(
+                    module,
+                    record.function.node,
+                    self.code,
+                    f"{record.function.qualname} draws from stream "
+                    f"'{name}' via {record.via.get(effect, origin)}(); its "
+                    f"subsystem declares {', '.join(patterns)} — keep "
+                    "draws on the subsystem's own streams",
+                )
+
+
+class OrderedEmissionRule(ArchRule):
+    """REP205: set iteration order must not reach send/schedule."""
+
+    code = "REP205"
+    name = "ordered-emission"
+    summary = (
+        "iteration over a set feeds message emission or scheduling; set "
+        "order is hash-dependent, breaking the deterministic (time, seq) "
+        "merge contract — iterate sorted(...)"
+    )
+
+    def run_arch(self, ctx: ArchContext, add: AddFn) -> None:
+        class_sets: Dict[str, Set[str]] = {}
+        for module in ctx.project.modules.values():
+            for function in self._functions(module):
+                owner = function.cls
+                if owner is not None and owner.qualname not in class_sets:
+                    class_sets[owner.qualname] = self._self_set_attrs(owner)
+                attrs = class_sets.get(owner.qualname, set()) if owner else set()
+                self._check_function(module, function, attrs, add)
+
+    @staticmethod
+    def _functions(module: ModuleInfo) -> Iterable[FunctionInfo]:
+        yield from module.functions.values()
+        for cls in module.classes.values():
+            yield from cls.methods.values()
+
+    # -- set-typed bindings --------------------------------------------
+    def _self_set_attrs(self, cls: ClassInfo) -> Set[str]:
+        attrs: Set[str] = set()
+        for method in cls.methods.values():
+            for node in ast.walk(method.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not self._is_set_value(cls.module, node.value):
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+        return attrs
+
+    @staticmethod
+    def _is_set_value(module: ModuleInfo, value: ast.expr) -> bool:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            parts = dotted_parts(value.func)
+            return bool(parts) and parts[-1] in _SET_FACTORIES
+        return False
+
+    def _local_sets(self, module: ModuleInfo, func: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and self._is_set_value(
+                module, node.value
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _is_set_expr(
+        self, expr: ast.expr, local_sets: Set[str], self_sets: Set[str]
+    ) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in local_sets
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr in self_sets
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_OPS):
+            return self._is_set_expr(
+                expr.left, local_sets, self_sets
+            ) or self._is_set_expr(expr.right, local_sets, self_sets)
+        return False
+
+    # -- escape detection ----------------------------------------------
+    @staticmethod
+    def _emits(module: ModuleInfo, body: Iterable[ast.stmt]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in (
+                    _SEND_ATTRS | _SCHEDULE_ATTRS
+                ):
+                    return True
+                resolved = module.resolve_call(node)
+                if resolved and resolved.split(".")[-1] == "Message":
+                    return True
+        return False
+
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        function: FunctionInfo,
+        self_sets: Set[str],
+        add: AddFn,
+    ) -> None:
+        local_sets = self._local_sets(module, function.node)
+        if not local_sets and not self_sets:
+            return
+        for node in ast.walk(function.node):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(
+                    node.iter, local_sets, self_sets
+                ) and self._emits(module, node.body):
+                    add(
+                        module,
+                        node,
+                        self.code,
+                        f"{function.qualname} iterates a set and "
+                        "sends/schedules inside the loop; set order is "
+                        "hash-dependent — iterate sorted(...) so emission "
+                        "order is deterministic",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in (_SEND_ATTRS | _SCHEDULE_ATTRS)
+                ):
+                    continue
+                for arg in node.args:
+                    for sub in ast.walk(arg):
+                        if isinstance(
+                            sub, (ast.ListComp, ast.GeneratorExp)
+                        ) and any(
+                            self._is_set_expr(g.iter, local_sets, self_sets)
+                            for g in sub.generators
+                        ):
+                            add(
+                                module,
+                                sub,
+                                self.code,
+                                f"{function.qualname} hands a "
+                                "set-order-dependent comprehension to a "
+                                "send/schedule call; wrap the set in "
+                                "sorted(...) first",
+                            )
+
+
+ARCH_RULES: List[ArchRule] = [
+    LayerImportRule(),
+    EngineTouchpointRule(),
+    SharedStateRule(),
+    SlotsRule(),
+    RngStreamRule(),
+    OrderedEmissionRule(),
+]
+
+
+def arch_codes() -> List[str]:
+    return [rule.code for rule in ARCH_RULES]

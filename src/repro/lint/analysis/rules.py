@@ -463,8 +463,10 @@ class ExecutorPicklableRule(AnalysisRule):
                     "module-level, closure-free callables",
                 )
 
-    @staticmethod
-    def _problem(submitted: ast.expr, local_defs: Set[str]) -> Optional[str]:
+    @classmethod
+    def _problem(
+        cls, submitted: ast.expr, local_defs: Set[str]
+    ) -> Optional[str]:
         if isinstance(submitted, ast.Lambda):
             return "lambda"
         if isinstance(submitted, ast.Name) and submitted.id in local_defs:
@@ -475,7 +477,31 @@ class ExecutorPicklableRule(AnalysisRule):
             and submitted.value.id == "self"
         ):
             return f"bound method 'self.{submitted.attr}'"
+        # ``functools.partial`` pickles by reference to the *wrapped*
+        # callable, so a partial of a module-level function is fine and
+        # must not be flagged; recurse so a partial of a lambda / nested
+        # function / bound method is still caught (nested partials too).
+        if isinstance(submitted, ast.Call) and cls._is_partial(submitted.func):
+            target = submitted.args[0] if submitted.args else None
+            if target is None:
+                for keyword in submitted.keywords:
+                    if keyword.arg == "func":
+                        target = keyword.value
+                        break
+            if target is None:
+                return None
+            inner = cls._problem(target, local_defs)
+            return None if inner is None else f"functools.partial of a {inner}"
         return None
+
+    @staticmethod
+    def _is_partial(func_expr: ast.expr) -> bool:
+        if isinstance(func_expr, ast.Name):
+            return func_expr.id in ("partial", "partialmethod")
+        return (
+            isinstance(func_expr, ast.Attribute)
+            and func_expr.attr in ("partial", "partialmethod")
+        )
 
 
 class RecoverySubclassRule(AnalysisRule):

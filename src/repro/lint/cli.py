@@ -23,15 +23,26 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Set, Tuple
 
-from .analysis import analysis_codes, run_analysis
-from .analysis.rules import ANALYSIS_RULES
+from .analysis import (
+    ANALYSIS_RULES,
+    analysis_codes,
+    build_arch_report,
+    run_analysis,
+)
 from .config import LintConfig, config_for_paths, load_config
 from .findings import Finding, LintError
-from .report import render_json, render_sarif, render_text
+from .report import (
+    render_arch_json,
+    render_arch_text,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from .rules import RULES, all_codes
 from .walker import lint_file
 
-__all__ = ["main", "build_parser", "lint_paths", "LintResult"]
+__all__ = ["main", "build_parser", "lint_paths", "arch_report_paths",
+           "LintResult"]
 
 
 class LintResult:
@@ -102,9 +113,9 @@ def lint_paths(
     if config is None:
         config = LintConfig() if isolated else config_for_paths(paths)
 
-    rep1xx = set(analysis_codes())
+    whole_program = set(analysis_codes())  # REP1xx and REP2xx
     if analysis is None:
-        analysis = config.analysis or bool(rep1xx & set(select))
+        analysis = config.analysis or bool(whole_program & set(select))
 
     # A missing path is an error, but it must not hide findings from the
     # paths that do exist: lint those and aggregate both.
@@ -136,10 +147,26 @@ def lint_paths(
             errors.append(error)
     if analysis:
         pairs = [(path, config.rel_path(path)) for path in files]
-        findings.extend(run_analysis(pairs, enabled_for))
+        findings.extend(run_analysis(pairs, enabled_for, config))
     findings.sort()
     errors.sort()
     return LintResult(findings, errors, len(files), warnings)
+
+
+def arch_report_paths(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    *,
+    isolated: bool = False,
+) -> dict:
+    """Programmatic ``--arch-report``: the resolved layer graph and
+    per-module effect summary for ``paths``, as plain (JSON-able) data."""
+    paths = [Path(p) for p in paths]
+    if config is None:
+        config = LintConfig() if isolated else config_for_paths(paths)
+    files, _warnings = _collect_files([p for p in paths if p.exists()], config)
+    pairs = [(path, config.rel_path(path)) for path in files]
+    return build_arch_report(pairs, config)
 
 
 def _parse_codes(raw: Optional[str]) -> Tuple[str, ...]:
@@ -205,6 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every rule code with its summary and exit",
     )
+    parser.add_argument(
+        "--arch-report",
+        action="store_true",
+        help=(
+            "emit the resolved layer graph and per-module effect summary "
+            "instead of linting (honors --format text/json)"
+        ),
+    )
     return parser
 
 
@@ -219,6 +254,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if not args.paths:
         parser.error("no paths given (try: repro-lint src benchmarks)")
+
+    if args.arch_report:
+        config = None
+        try:
+            if args.config:
+                config_path = Path(args.config)
+                if not config_path.is_file():
+                    print(
+                        f"error: config file not found: {config_path}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                config = load_config(config_path)
+            report = arch_report_paths(
+                [Path(p) for p in args.paths], config, isolated=args.isolated
+            )
+        except RuntimeError as exc:  # no TOML parser on this interpreter
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(render_arch_json(report))
+        else:  # text (sarif has no architecture schema; text reads best)
+            print(render_arch_text(report))
+        return 0
 
     select = _parse_codes(args.select) + _parse_codes(args.rules)
     ignore = _parse_codes(args.ignore)

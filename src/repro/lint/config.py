@@ -18,6 +18,24 @@ Recognised keys::
     # guards = ["_injector", ...]          # banned per-event config branches
     #                                      # (defaults to the built-in list)
 
+    [tool.repro-lint.layers]               # REP200/REP201 layer map
+    order = ["sim", "network", "protocol", "scenarios"]   # bottom -> top
+    confined = ["protocol"]                # layers needing touchpoints (REP201)
+    engine-touchpoints = [                 # allowlisted engine access sites
+        "Dispatcher.publish",              # Class.method or full dotted
+        "repro.recovery.base.*",           # qualname; fnmatch patterns
+    ]
+
+    [tool.repro-lint.layers.members]       # layer -> module-name prefixes
+    sim = ["repro.sim"]
+    protocol = ["repro.pubsub", "repro.recovery"]
+
+    [tool.repro-lint.slots]                # REP203 allowlist
+    exempt = ["repro.pubsub.pattern.PatternSpace"]
+
+    [tool.repro-lint.rng-streams]          # REP204: subsystem -> name patterns
+    "repro.recovery" = ["gossip[*"]
+
 Paths in patterns are matched against the file's path relative to the
 directory containing ``pyproject.toml`` (the *config root*), in POSIX form.
 A file *outside* the config root has no such relative form and is matched
@@ -46,6 +64,8 @@ __all__ = [
     "LintConfig",
     "PerPath",
     "HotPathConfig",
+    "LayersConfig",
+    "SlotsConfig",
     "load_config",
     "find_pyproject",
 ]
@@ -75,6 +95,64 @@ class HotPathConfig:
 
 
 @dataclass(frozen=True)
+class LayersConfig:
+    """``[tool.repro-lint.layers]``: the declared architecture (REP200/201).
+
+    ``order`` lists layer names bottom (engine) to top (scenarios);
+    ``members`` maps each layer to the module-name prefixes it owns.
+    ``confined`` names the layers whose code may only reach the engine
+    through ``engine_touchpoints`` (fnmatch patterns over both the full
+    dotted qualname and the short ``Class.method`` form).  An empty
+    ``order`` leaves REP200/REP201 inert.
+    """
+
+    order: Tuple[str, ...] = ()
+    members: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    confined: Tuple[str, ...] = ()
+    engine_touchpoints: Tuple[str, ...] = ()
+
+    def layer_of(self, module_name: str) -> Optional[str]:
+        """The layer owning ``module_name`` (longest prefix wins)."""
+        best: Optional[str] = None
+        best_len = -1
+        for layer, prefixes in self.members:
+            for prefix in prefixes:
+                if module_name == prefix or module_name.startswith(prefix + "."):
+                    if len(prefix) > best_len:
+                        best, best_len = layer, len(prefix)
+        return best
+
+    def index_of(self, layer: str) -> int:
+        return self.order.index(layer)
+
+    def is_touchpoint(self, *names: str) -> bool:
+        """True when any of ``names`` matches a touchpoint pattern."""
+        return any(
+            fnmatch.fnmatch(name, pattern)
+            for name in names
+            for pattern in self.engine_touchpoints
+        )
+
+
+@dataclass(frozen=True)
+class SlotsConfig:
+    """``[tool.repro-lint.slots]``: REP203's ``__slots__`` allowlist.
+
+    ``exempt`` holds fnmatch patterns over the dotted class qualname
+    (``repro.pubsub.cache.EventCache``) and the bare class name.
+    """
+
+    exempt: Tuple[str, ...] = ()
+
+    def is_exempt(self, *names: str) -> bool:
+        return any(
+            fnmatch.fnmatch(name, pattern)
+            for name in names
+            for pattern in self.exempt
+        )
+
+
+@dataclass(frozen=True)
 class LintConfig:
     """Resolved linter configuration."""
 
@@ -87,6 +165,14 @@ class LintConfig:
     analysis: bool = False
     #: REP007 registry; empty ``methods`` leaves the rule inert.
     hot_path: HotPathConfig = field(default_factory=HotPathConfig)
+    #: declared layer map; empty ``order`` leaves REP200/REP201 inert.
+    layers: LayersConfig = field(default_factory=LayersConfig)
+    #: REP203 allowlist.
+    slots: SlotsConfig = field(default_factory=SlotsConfig)
+    #: REP204 discipline: subsystem module prefix -> allowed stream-name
+    #: fnmatch patterns.  Empty means "any literal name" (only dynamic
+    #: names are flagged).
+    rng_streams: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
 
     def rel_path(self, path: Path) -> str:
         """``path`` relative to the config root, in POSIX form.
@@ -159,6 +245,26 @@ def load_config(pyproject: Path) -> LintConfig:
         methods=tuple(str(m) for m in hot.get("methods", ())),
         guards=tuple(str(g) for g in hot.get("guards", ())),
     )
+    layers_table = table.get("layers", {})
+    layers = LayersConfig(
+        order=tuple(str(l) for l in layers_table.get("order", ())),
+        members=tuple(
+            (str(layer), tuple(str(p) for p in prefixes))
+            for layer, prefixes in layers_table.get("members", {}).items()
+        ),
+        confined=tuple(str(l) for l in layers_table.get("confined", ())),
+        engine_touchpoints=tuple(
+            str(t) for t in layers_table.get("engine-touchpoints", ())
+        ),
+    )
+    slots_table = table.get("slots", {})
+    slots = SlotsConfig(
+        exempt=tuple(str(p) for p in slots_table.get("exempt", ()))
+    )
+    rng_streams = tuple(
+        (str(prefix), tuple(str(p) for p in patterns))
+        for prefix, patterns in table.get("rng-streams", {}).items()
+    )
     return LintConfig(
         root=pyproject.parent,
         exclude=tuple(table.get("exclude", ())),
@@ -167,6 +273,9 @@ def load_config(pyproject: Path) -> LintConfig:
         per_path=per_path,
         analysis=bool(table.get("analysis", False)),
         hot_path=hot_path,
+        layers=layers,
+        slots=slots,
+        rng_streams=rng_streams,
     )
 
 

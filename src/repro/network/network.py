@@ -57,7 +57,7 @@ class _NullObserver:
         pass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetworkConfig:
     """Physical parameters of the dispatching network.
 

@@ -62,6 +62,11 @@ class EventCache:
     True
     """
 
+    __slots__ = ("capacity", "policy", "_is_random", "_is_lru", "_rng",
+                 "_id_list", "_id_pos", "_events", "_by_loss_key",
+                 "_by_pattern", "_loss_index_active", "_pattern_index_active",
+                 "insertions", "evictions", "hits", "misses")
+
     def __init__(
         self,
         capacity: int,

@@ -81,6 +81,11 @@ class RecoveryHooks(Protocol):
 class Dispatcher:
     """A dispatching server of the content-based publish-subscribe network.
 
+    One instance per simulated node (REP203): the class is slotted, and
+    the swappable entry points (``receive``, ``receive_oob``,
+    ``send_gossip``, ``on_deliver``, ``on_publish``) are instance
+    attributes precisely so rebinding them needs no ``__dict__``.
+
     Parameters
     ----------
     node_id:
@@ -98,6 +103,14 @@ class Dispatcher:
         Callback ``(node_id, event, recovered)`` invoked at each local
         delivery; wired to the metrics layer by the scenario builder.
     """
+
+    __slots__ = ("node_id", "sim", "network", "pattern_space", "table",
+                 "cache", "record_routes", "on_deliver", "on_publish",
+                 "tree_routing_enabled", "recovery", "receive",
+                 "receive_oob", "send_gossip", "send_oob_request",
+                 "received_ids",
+                 "_next_event_seq", "_pattern_counters", "match_operations",
+                 "published_count", "delivered_count", "recovered_count")
 
     def __init__(
         self,
@@ -134,6 +147,10 @@ class Dispatcher:
         # "Setup-time method binding").
         self.receive: Callable[[Message, int], None] = self._receive_plain
         self.receive_oob: Callable[[Message, int], None] = self._receive_oob_plain
+        # Outbound gossip/requests, likewise instance bindings (spies
+        # rebind them).
+        self.send_gossip: Callable[..., None] = self._send_gossip
+        self.send_oob_request: Callable[[int, Any], None] = self._send_oob_request
 
         #: ids of every event ever received (normally or via recovery);
         #: used for duplicate suppression and push-digest checks.
@@ -404,7 +421,7 @@ class Dispatcher:
             if neighbor != exclude
         ]
 
-    def send_gossip(
+    def _send_gossip(
         self, neighbor: int, payload: Any, size_bits: Optional[int] = None
     ) -> None:
         """Send one gossip message over the tree link to ``neighbor``.
@@ -412,14 +429,21 @@ class Dispatcher:
         ``size_bits`` overrides the default wire size -- digests default
         to the event-message size (the paper's upper-bound assumption),
         but payloads carrying full events charge more.
+
+        Exposed as the per-instance ``send_gossip`` binding (see
+        ``__init__``): the class is slotted, so test harnesses interpose
+        gossip spies by rebinding the attribute, not via ``__dict__``.
         """
         message = Message(MessageKind.GOSSIP, payload, self.node_id)
         if size_bits is not None:
             message.size_bits = size_bits
         self.network.send(self.node_id, neighbor, message)
 
-    def send_oob_request(self, to_node: int, payload: Any) -> None:
-        """Out-of-band request (push receivers asking the gossiper)."""
+    def _send_oob_request(self, to_node: int, payload: Any) -> None:
+        """Out-of-band request (push receivers asking the gossiper).
+
+        Exposed as the per-instance ``send_oob_request`` binding, like
+        ``send_gossip``."""
         message = Message(MessageKind.OOB_REQUEST, payload, self.node_id)
         self.network.send_oob(self.node_id, to_node, message)
 

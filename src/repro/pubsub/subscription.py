@@ -43,6 +43,8 @@ class SubscriptionTable:
     (see :meth:`_invalidate`).
     """
 
+    __slots__ = ("_directions", "_forwarded", "_match_cache")
+
     def __init__(self) -> None:
         self._directions: Dict[int, Set[int]] = {}
         self._forwarded: Dict[int, Set[int]] = {}

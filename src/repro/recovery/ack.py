@@ -42,6 +42,8 @@ class AckMessage:
 
     __slots__ = ("event_id", "acker")
 
+    __slots__ = ("event_id", "acker")
+
     def __init__(self, event_id: EventId, acker: int) -> None:
         self.event_id = event_id
         self.acker = acker
@@ -53,6 +55,8 @@ class AckMessage:
 class _Pending:
     __slots__ = ("event", "missing", "retries_left")
 
+    __slots__ = ("event", "missing", "retries_left")
+
     def __init__(self, event: Event, missing: Set[int], retries_left: int) -> None:
         self.event = event
         self.missing = missing
@@ -61,6 +65,9 @@ class _Pending:
 
 class AckRecovery(RecoveryAlgorithm):
     """Idealized publisher-driven acknowledgment scheme (Gryphon-like)."""
+
+    __slots__ = ("_pending", "recipient_resolver", "acks_sent",
+                 "acks_received", "gave_up")
 
     name = "ack"
 

@@ -31,6 +31,8 @@ class AdaptivePushRecovery(PushRecovery):
 
     name = "adaptive-push"
 
+    __slots__ = ("_requests_since_round", "interval_changes")
+
     def __init__(self, dispatcher, rng, config) -> None:
         super().__init__(dispatcher, rng, config)
         self._requests_since_round = 0

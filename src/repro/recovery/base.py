@@ -24,7 +24,7 @@ from repro.sim.timers import PeriodicTimer
 __all__ = ["RecoveryConfig", "GossipStats", "RecoveryAlgorithm"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecoveryConfig:
     """Tunables shared by all recovery algorithms.
 
@@ -72,7 +72,7 @@ class RecoveryConfig:
             raise ValueError("digest_limit must be >= 1")
 
 
-@dataclass
+@dataclass(slots=True)
 class GossipStats:
     """Per-dispatcher recovery statistics."""
 
@@ -110,6 +110,12 @@ class RecoveryAlgorithm:
     config:
         Shared tunables.
     """
+
+    # One instance per dispatcher per run, but tens of thousands of runs
+    # sweep the parameter grid; the bound-forwarding attributes make the
+    # per-instance __dict__ the widest in the protocol layer (REP203).
+    __slots__ = ("dispatcher", "rng", "config", "stats", "peers",
+                 "forward_along_pattern", "forward_randomly", "timer")
 
     #: Registry name; overridden by subclasses.
     name = "abstract"

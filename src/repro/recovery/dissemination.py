@@ -63,6 +63,8 @@ class DisseminationGossip:
 class GossipDisseminationRecovery(RecoveryAlgorithm):
     """Epidemic dissemination as the *only* transport (hpcast-style)."""
 
+    __slots__ = ("_fresh", "_fresh_ids")
+
     name = "gossip-dissemination"
 
     #: events per gossip message (hpcast delegates aggregate interests;

@@ -66,6 +66,10 @@ class LossDetector:
         query time.  ``None`` = never.
     """
 
+    __slots__ = ("capacity", "give_up_age", "_streams", "_lost",
+                 "_pattern_counts", "_source_counts", "_resync",
+                 "detected", "recovered", "abandoned")
+
     def __init__(
         self,
         capacity: Optional[int] = None,

@@ -18,6 +18,8 @@ __all__ = ["NoRecovery"]
 class NoRecovery(RecoveryAlgorithm):
     """Baseline: lost events stay lost."""
 
+    __slots__ = ()
+
     name = "none"
 
     def start(self) -> None:

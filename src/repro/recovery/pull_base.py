@@ -28,6 +28,8 @@ __all__ = ["PullRecoveryBase"]
 class PullRecoveryBase(RecoveryAlgorithm):
     """Base for subscriber-based, publisher-based, combined and random pull."""
 
+    __slots__ = ("detector", "routes", "_local_patterns_cache", "_sim")
+
     uses_loss_detection = True
 
     def __init__(

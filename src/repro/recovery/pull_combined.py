@@ -19,6 +19,8 @@ __all__ = ["CombinedPullRecovery"]
 class CombinedPullRecovery(PullRecoveryBase):
     """Probabilistic mix of publisher- and subscriber-based pull."""
 
+    __slots__ = ()
+
     name = "combined-pull"
     requires_route_recording = True
 

@@ -31,6 +31,8 @@ __all__ = ["PublisherPullRecovery"]
 class PublisherPullRecovery(PullRecoveryBase):
     """The paper's publisher-based pull algorithm."""
 
+    __slots__ = ()
+
     name = "publisher-pull"
     requires_route_recording = True
 

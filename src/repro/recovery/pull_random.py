@@ -25,6 +25,8 @@ __all__ = ["RandomPullRecovery"]
 class RandomPullRecovery(PullRecoveryBase):
     """Negative digests, uniformly random routing."""
 
+    __slots__ = ()
+
     name = "random-pull"
 
     def gossip_round(self) -> None:

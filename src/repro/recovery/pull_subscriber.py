@@ -26,6 +26,8 @@ __all__ = ["SubscriberPullRecovery"]
 class SubscriberPullRecovery(PullRecoveryBase):
     """The paper's subscriber-based pull algorithm."""
 
+    __slots__ = ()
+
     name = "subscriber-pull"
 
     def gossip_round(self) -> None:

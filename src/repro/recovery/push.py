@@ -29,6 +29,8 @@ __all__ = ["PushRecovery"]
 class PushRecovery(RecoveryAlgorithm):
     """The paper's push algorithm."""
 
+    __slots__ = ()
+
     name = "push"
 
     def gossip_round(self) -> None:

@@ -24,6 +24,8 @@ __all__ = ["RandomPushRecovery"]
 class RandomPushRecovery(RecoveryAlgorithm):
     """Positive digests, uniformly random routing."""
 
+    __slots__ = ()
+
     name = "random-push"
 
     def gossip_round(self) -> None:

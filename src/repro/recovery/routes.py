@@ -21,6 +21,8 @@ __all__ = ["RoutesBuffer"]
 class RoutesBuffer:
     """Most-recently-observed reverse routes toward each event source."""
 
+    __slots__ = ("_routes", "updates")
+
     def __init__(self) -> None:
         self._routes: Dict[int, Tuple[int, ...]] = {}
         self.updates = 0

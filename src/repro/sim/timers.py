@@ -36,6 +36,9 @@ class PeriodicTimer:
     The timer does not start automatically; call :meth:`start`.
     """
 
+    __slots__ = ("_sim", "period", "_callback", "_phase", "_jitter_fn",
+                 "_handle", "_ticks", "_running", "_fire")
+
     def __init__(
         self,
         sim: Simulator,
@@ -122,6 +125,8 @@ class Timeout:
     delay.  Calling :meth:`restart` while armed cancels the previous
     deadline.
     """
+
+    __slots__ = ("_sim", "_callback", "_handle")
 
     def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
         self._sim = sim

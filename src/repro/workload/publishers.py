@@ -44,6 +44,10 @@ class PublisherProcess:
         Stop publishing at this simulation time (``None`` = never).
     """
 
+    __slots__ = ("system", "node_id", "rate", "rng", "model",
+                 "max_event_patterns", "until", "published",
+                 "_handle", "_running")
+
     def __init__(
         self,
         system: PubSubSystem,

@@ -24,6 +24,7 @@ BAD_EXPECTATIONS = [
     ("rep102_bad.py", "REP102", 1),
     ("rep103_bad.py", "REP103", 2),  # random.Random + numpy.random
     ("rep104_bad.py", "REP104", 2),  # lambda + nested def
+    ("rep104_partial_bad.py", "REP104", 3),  # partial of each of those
     ("rep105_bad.py", "REP105", 2),  # missing super().__init__ + bad hook
 ]
 
@@ -48,6 +49,7 @@ def test_bad_fixture_fires_exactly_its_rule(filename, code, count):
         "rep102_good.py",
         "rep103_good.py",
         "rep104_good.py",
+        "rep104_partial_good.py",
         "rep105_good.py",
     ],
 )
@@ -72,7 +74,7 @@ def test_whole_fixture_directory_counts():
         "REP101": 1,
         "REP102": 1,
         "REP103": 2,
-        "REP104": 2,
+        "REP104": 5,
         "REP105": 2,
     }
 

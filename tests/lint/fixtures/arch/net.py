@@ -1,0 +1,13 @@
+"""Arch fixture, *transport* layer: a message sink below the protocol."""
+
+
+class Network:
+    """A stub transport: records what the protocol asks it to send."""
+
+    __slots__ = ("sent",)
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, source, target, message):
+        self.sent.append((source, target, message))

@@ -1,0 +1,12 @@
+"""Arch fixture, *proto* layer (REP201): engine access off the allowlist."""
+
+
+class LateBinder:
+    __slots__ = ("sim",)
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def poll(self):
+        # BAD: reads the simulation clock outside any declared touchpoint.
+        return self.sim.now

@@ -1,0 +1,7 @@
+"""Arch fixture, *proto* layer (REP200): imports the layer above it."""
+
+import app  # BAD: proto reaching up into the app layer
+
+
+def peek_population():
+    return app.DEFAULT_POPULATION

@@ -1,0 +1,11 @@
+"""Arch fixture, *proto* layer (REP203): per-node class without slots."""
+
+
+class Beacon:
+    # BAD: instantiated once per node (see app.build) but keeps a __dict__.
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.pings = 0
+
+    def ping(self):
+        self.pings += 1

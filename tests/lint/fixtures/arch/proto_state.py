@@ -1,0 +1,17 @@
+"""Arch fixture, *proto* layer (REP202): shared mutable state per node."""
+
+REGISTRY = {}
+
+
+class Counter:
+    __slots__ = ("node_id",)
+
+    # BAD: one set shared by every node instance.
+    seen = set()
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+
+    def register(self):
+        # BAD: per-node method mutating a module-global container.
+        REGISTRY[self.node_id] = self

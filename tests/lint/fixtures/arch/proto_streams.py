@@ -1,0 +1,18 @@
+"""Arch fixture, *proto* layer (REP204): stream-name discipline.
+
+This module's declared streams are ``agents`` / ``agents[*`` (see the
+test's LintConfig); requesting another subsystem's stream, or one with a
+dynamic name, breaks the reproducibility contract.
+"""
+
+
+class StreamUser:
+    __slots__ = ("rng", "spare", "own")
+
+    def __init__(self, streams, label, node_id):
+        # BAD: 'topology' belongs to another subsystem.
+        self.rng = streams.stream("topology")
+        # BAD: dynamic stream name — unauditable.
+        self.spare = streams.stream(label)
+        # OK: literal-prefix f-string on this subsystem's declared family.
+        self.own = streams.stream(f"agents[{node_id}]")

@@ -34,6 +34,7 @@ import datetime as _datetime
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -284,6 +285,117 @@ def bench_faults_scenario(quick: bool) -> Optional[Dict[str, object]]:
 
 
 # ----------------------------------------------------------------------
+# Large-topology scenario (compact-state substrate)
+# ----------------------------------------------------------------------
+#: The scale probe: combined pull on a scale-free overlay with the
+#: aggregate workload model and the compact cache layout (auto-selected
+#: at this node count).  Parameters match docs/EXPERIMENTS.md's
+#: fig_scalability sweep.  The *system-wide* publish load is held at 200
+#: events/s regardless of N (the paper's scaling methodology): each event
+#: costs O(N) delivery work and O(subscribers) tracking state, so a fixed
+#: per-node rate would make the probe O(N^2) in both time and memory.
+_LARGE_TOPOLOGY_CHILD = """\
+import json, resource, sys, time
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.runner import run_scenario
+
+n = int(sys.argv[1])
+start = time.perf_counter()
+config = SimulationConfig(
+    n_dispatchers=n, n_patterns=70, pi_max=2, publish_rate=200.0 / n,
+    sim_time=3.0, measure_start=0.5, measure_end=2.5, buffer_size=32,
+    gossip_interval=0.1, error_rate=0.1, algorithm="combined-pull",
+    tree_style="scale-free", workload_model="aggregate", seed=1,
+)
+result = run_scenario(config)
+elapsed = time.perf_counter() - start
+peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+if sys.platform == "darwin":
+    peak //= 1024
+print(json.dumps({
+    "seconds": round(elapsed, 3),
+    "max_rss_kb": int(peak),
+    "n_dispatchers": n,
+    "delivery_rate": round(result.delivery_rate, 6),
+    "events_published": result.events_published,
+    "sim_events_processed": result.sim_events_processed,
+}))
+"""
+
+
+def _run_large_topology(n_dispatchers: int) -> Optional[Dict[str, object]]:
+    """Run the scale probe in a child process and return its self-report.
+
+    A child process for two reasons: ``ru_maxrss`` is a per-process
+    high-water mark, so measuring in-process would (a) read whatever
+    earlier benches peaked at and (b) permanently raise the parent's mark,
+    poisoning every later bench's reading.  ``None`` when the tree cannot
+    run the scenario (old trees without the scale-free/aggregate knobs).
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", _LARGE_TOPOLOGY_CHILD, str(n_dispatchers)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+    except (subprocess.CalledProcessError, OSError):
+        return None
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def bench_large_topology(quick: bool) -> Optional[Dict[str, object]]:
+    """The 10⁵-node scenario (2·10³ in quick mode, to keep quick records
+    and the gate's unit tests cheap; the CI scale job uses --scale-smoke's
+    10⁴ instead).  Single run -- at this size host noise is small relative
+    to the minutes of work, and best-of-N would triple a multi-minute
+    record."""
+    return _run_large_topology(2_000 if quick else 100_000)
+
+
+def scale_smoke(time_budget_s: float, rss_budget_kb: int) -> int:
+    """CI entry point: a 10⁴-node probe with hard time and memory bounds.
+
+    Exits non-zero when the probe exceeds either budget or fails to run,
+    so a regression in the compact-state substrate turns the scale-smoke
+    job red rather than silently inflating.
+    """
+    entry = _run_large_topology(10_000)
+    if entry is None:
+        print("scale-smoke: probe failed to run", file=sys.stderr)
+        return 1
+    print(
+        f"scale-smoke: n={entry['n_dispatchers']} "
+        f"wall={entry['seconds']:.1f}s (budget {time_budget_s:.0f}s) "
+        f"rss={entry['max_rss_kb'] / 1024:.0f}MB "
+        f"(budget {rss_budget_kb / 1024:.0f}MB) "
+        f"delivery={entry['delivery_rate']:.3f}",
+        file=sys.stderr,
+    )
+    failures = []
+    if entry["seconds"] > time_budget_s:
+        failures.append(
+            f"wall time {entry['seconds']:.1f}s > {time_budget_s:.0f}s"
+        )
+    if entry["max_rss_kb"] > rss_budget_kb:
+        failures.append(
+            f"peak RSS {entry['max_rss_kb']}KB > {rss_budget_kb}KB"
+        )
+    if entry["delivery_rate"] <= 0.0:
+        failures.append("zero delivery -- scenario is not exercising recovery")
+    if failures:
+        print("scale-smoke FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print("scale-smoke passed", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Parallel sweep scaling
 # ----------------------------------------------------------------------
 def _sweep_config(quick: bool) -> SimulationConfig:
@@ -309,7 +421,15 @@ def bench_sweep_scaling(quick: bool) -> Optional[Dict[str, object]]:
         return None  # tree predates the parallel executor
 
     base = _sweep_config(quick)
-    record: Dict[str, object] = {"algorithms": list(SWEEP_ALGORITHMS)}
+    # Scaling numbers are meaningless without the core count: jobs=4 on a
+    # single-core host measures pool overhead, not speedup -- record the
+    # count alongside the entry so readers (and the gate) can tell, and
+    # skip the jobs=4 leg entirely when it could only measure overhead.
+    cores = os.cpu_count() or 1
+    record: Dict[str, object] = {
+        "algorithms": list(SWEEP_ALGORITHMS),
+        "cpu_count": cores,
+    }
     try:
         from repro.parallel import get_executor
 
@@ -318,7 +438,8 @@ def bench_sweep_scaling(quick: bool) -> Optional[Dict[str, object]]:
         record["jobs4_executor"] = type(get_executor(4)).__name__
     except ImportError:  # pragma: no cover - pre-fallback trees
         pass
-    for jobs in (1, 4):
+    job_counts = (1,) if cores < 2 else (1, 4)
+    for jobs in job_counts:
         start = time.perf_counter()
         results = sweep_algorithms(base, SWEEP_ALGORITHMS, jobs=jobs)
         elapsed = time.perf_counter() - start
@@ -327,9 +448,21 @@ def bench_sweep_scaling(quick: bool) -> Optional[Dict[str, object]]:
             algorithm: round(points[0].result.delivery_rate, 6)
             for algorithm, points in results.items()
         }
-    record["scaling"] = round(
-        record["jobs1_seconds"] / record["jobs4_seconds"], 3
-    )
+    if cores < 2:
+        record["jobs4_skipped"] = (
+            "single-core host: jobs=4 would measure pool overhead, "
+            "not parallel speedup"
+        )
+        print(
+            " (single-core host: skipping jobs=4 leg)",
+            end="",
+            flush=True,
+            file=sys.stderr,
+        )
+    else:
+        record["scaling"] = round(
+            record["jobs1_seconds"] / record["jobs4_seconds"], 3
+        )
     return record
 
 
@@ -343,6 +476,7 @@ BENCHES = {
     "forward_event": bench_forward_event,
     "figure_scenario": bench_figure_scenario,
     "faults_scenario": bench_faults_scenario,
+    "large_topology": bench_large_topology,
 }
 
 
@@ -356,7 +490,9 @@ def record(quick: bool, label: str) -> Dict[str, object]:
             continue
         peak = _max_rss_kb()
         if peak is not None:
-            entry["max_rss_kb"] = peak
+            # Subprocess-isolated benches (large_topology) report their own
+            # child-process peak; don't overwrite it with the parent's mark.
+            entry.setdefault("max_rss_kb", peak)
         benches[name] = entry
         print(f" {entry['seconds']:.3f}s", file=sys.stderr)
     print("  sweep_scaling ...", end="", flush=True, file=sys.stderr)
@@ -368,12 +504,13 @@ def record(quick: bool, label: str) -> Dict[str, object]:
         if peak is not None:
             scaling["max_rss_kb"] = peak
         benches["sweep_scaling"] = scaling
-        print(
-            f" jobs1={scaling['jobs1_seconds']:.3f}s "
-            f"jobs4={scaling['jobs4_seconds']:.3f}s "
-            f"({scaling['scaling']:.2f}x)",
-            file=sys.stderr,
-        )
+        line = f" jobs1={scaling['jobs1_seconds']:.3f}s"
+        if "jobs4_seconds" in scaling:
+            line += (
+                f" jobs4={scaling['jobs4_seconds']:.3f}s "
+                f"({scaling['scaling']:.2f}x)"
+            )
+        print(line, file=sys.stderr)
     return {
         "schema": 1,
         "label": label,
@@ -398,13 +535,21 @@ CORE_BENCHES = (
     "figure_scenario",
     "cache_churn",
     "table_matching",
+    "large_topology",
 )
+
+#: Fractional peak-RSS growth tolerated on gating benches before the gate
+#: fails.  Wider than the time threshold: allocator high-water marks are
+#: coarser than wall clocks (arena growth is steppy), so 5% RSS wobble is
+#: common noise where 5% time wobble is not.
+MEM_THRESHOLD = 0.10
 
 
 def compare_records(
     baseline: Dict[str, object],
     current: Dict[str, object],
     threshold: float,
+    mem_threshold: float = MEM_THRESHOLD,
 ) -> Dict[str, object]:
     """Compare two ``benches`` dicts; pure so the gate is unit-testable.
 
@@ -412,8 +557,12 @@ def compare_records(
     ``(name, baseline_s, current_s, delta, gating)`` with ``delta`` the
     fractional slowdown (+0.08 = 8% slower than baseline) and
     ``regressions`` the core benches whose delta exceeds ``threshold``.
-    Benches present on only one side are skipped (records from different
-    tree generations may not carry the same set).
+    When both sides carry ``max_rss_kb`` the row also gets a ``mem_delta``,
+    and a gating bench whose peak RSS grew beyond ``mem_threshold`` joins
+    ``regressions`` as ``"<name> (rss)"`` -- a memory regression fails the
+    gate exactly like a time regression.  Benches present on only one side
+    are skipped (records from different tree generations may not carry the
+    same set).
     """
     rows: List[Dict[str, object]] = []
     regressions: List[str] = []
@@ -433,16 +582,30 @@ def compare_records(
         regressed = gating and delta > threshold
         if regressed:
             regressions.append(name)
-        rows.append(
-            {
-                "name": name,
-                "baseline_seconds": round(float(base["seconds"]), 6),
-                "current_seconds": round(float(cur["seconds"]), 6),
-                "delta": round(delta, 4),
-                "gating": gating,
-                "regressed": regressed,
-            }
-        )
+        row = {
+            "name": name,
+            "baseline_seconds": round(float(base["seconds"]), 6),
+            "current_seconds": round(float(cur["seconds"]), 6),
+            "delta": round(delta, 4),
+            "gating": gating,
+            "regressed": regressed,
+        }
+        base_rss = base.get("max_rss_kb")
+        cur_rss = cur.get("max_rss_kb")
+        if (
+            isinstance(base_rss, (int, float))
+            and isinstance(cur_rss, (int, float))
+            and base_rss > 0
+        ):
+            mem_delta = cur_rss / base_rss - 1.0
+            mem_regressed = gating and mem_delta > mem_threshold
+            if mem_regressed:
+                regressions.append(f"{name} (rss)")
+            row["baseline_rss_kb"] = int(base_rss)
+            row["current_rss_kb"] = int(cur_rss)
+            row["mem_delta"] = round(mem_delta, 4)
+            row["mem_regressed"] = mem_regressed
+        rows.append(row)
     return {"rows": rows, "regressions": regressions}
 
 
@@ -455,10 +618,14 @@ def format_delta_table(comparison: Dict[str, object], threshold: float) -> str:
     for row in comparison["rows"]:
         if row["regressed"]:
             status = f"REGRESSION (> {threshold:.0%})"
+        elif row.get("mem_regressed"):
+            status = "RSS REGRESSION"
         elif not row["gating"]:
             status = "not gating"
         else:
             status = "ok"
+        if "mem_delta" in row:
+            status += f"  [rss {row['mem_delta']:+.1%}]"
         lines.append(
             f"{row['name']:<18} {row['baseline_seconds']:>9.4f}s "
             f"{row['current_seconds']:>9.4f}s {row['delta']:>+7.1%}  {status}"
@@ -468,7 +635,9 @@ def format_delta_table(comparison: Dict[str, object], threshold: float) -> str:
 
 def _gate_self_test() -> int:
     """Prove the gate logic works: a synthetic 10% slowdown must fail, a
-    within-threshold wobble must pass.  Exit 0 when both hold."""
+    within-threshold wobble must pass, and the memory gate must flag a 15%
+    peak-RSS growth while letting an 8% one through.  Exit 0 when all
+    hold."""
     base = {name: {"seconds": 1.0} for name in CORE_BENCHES}
     slow = {name: {"seconds": 1.0} for name in CORE_BENCHES}
     slow["engine_loop"] = {"seconds": 1.10}
@@ -481,10 +650,32 @@ def _gate_self_test() -> int:
         {"sweep_scaling_proxy": {"seconds": 2.0}},
         0.05,
     )["regressions"]
-    ok = flagged == ["engine_loop"] and passed == [] and non_gating == []
+    mem_base = {
+        name: {"seconds": 1.0, "max_rss_kb": 100_000} for name in CORE_BENCHES
+    }
+    mem_grown = {
+        name: {"seconds": 1.0, "max_rss_kb": 100_000} for name in CORE_BENCHES
+    }
+    mem_grown["large_topology"] = {"seconds": 1.0, "max_rss_kb": 115_000}
+    mem_flagged = compare_records(mem_base, mem_grown, 0.05)["regressions"]
+    mem_wobble = dict(mem_base)
+    mem_wobble["large_topology"] = {"seconds": 1.0, "max_rss_kb": 108_000}
+    mem_passed = compare_records(mem_base, mem_wobble, 0.05)["regressions"]
+    ok = (
+        flagged == ["engine_loop"]
+        and passed == []
+        and non_gating == []
+        and mem_flagged == ["large_topology (rss)"]
+        and mem_passed == []
+    )
     print(
         "gate self-test: "
-        + ("ok (10% slowdown flagged, 4% wobble passed)" if ok else "FAILED"),
+        + (
+            "ok (10% slowdown flagged, 4% wobble passed, "
+            "15% RSS growth flagged, 8% passed)"
+            if ok
+            else "FAILED"
+        ),
         file=sys.stderr,
     )
     return 0 if ok else 1
@@ -537,14 +728,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fractional slowdown tolerated by --check (default 0.05 = 5%%)",
     )
     parser.add_argument(
+        "--mem-threshold",
+        type=float,
+        default=MEM_THRESHOLD,
+        help="fractional peak-RSS growth tolerated by --check on gating "
+        "benches (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="verify the gate logic on synthetic data (no benches run)",
+    )
+    parser.add_argument(
+        "--scale-smoke",
+        action="store_true",
+        help="run only the 10k-node scale probe with hard time/RSS budgets "
+        "(CI scale-smoke job); exits 1 when a budget is exceeded",
+    )
+    parser.add_argument(
+        "--scale-time-budget",
+        type=float,
+        default=120.0,
+        help="--scale-smoke wall-time budget in seconds (default 120)",
+    )
+    parser.add_argument(
+        "--scale-rss-budget-mb",
+        type=float,
+        default=800.0,
+        help="--scale-smoke peak-RSS budget in MB (default 800)",
     )
     args = parser.parse_args(argv)
 
     if args.self_test:
         return _gate_self_test()
+
+    if args.scale_smoke:
+        return scale_smoke(
+            args.scale_time_budget, int(args.scale_rss_budget_mb * 1024)
+        )
 
     if args.check and args.baseline is None:
         parser.error("--check requires --baseline")
@@ -569,7 +790,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.check:
         assert baseline_benches is not None
         comparison = compare_records(
-            baseline_benches, current["benches"], args.threshold
+            baseline_benches,
+            current["benches"],
+            args.threshold,
+            mem_threshold=args.mem_threshold,
         )
         table = format_delta_table(comparison, args.threshold)
         print(table)
@@ -579,6 +803,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     {
                         "schema": 1,
                         "threshold": args.threshold,
+                        "mem_threshold": args.mem_threshold,
                         "baseline": str(args.baseline),
                         **comparison,
                     },

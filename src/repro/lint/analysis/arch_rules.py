@@ -71,15 +71,24 @@ class ArchContext:
         # With a layer map declared, only loops in *mapped* modules seed
         # per-node cardinality: benchmark/driver sweeps construct whole
         # simulations in loops without making the engine "per-node".
+        # Factories get one further restriction -- a top-layer factory
+        # (run_scenario) builds whole simulations, so experiment sweeps
+        # calling it in a loop must not seed either.
         in_scope = None
+        factory_scope = None
         if config.layers.order:
+            top = config.layers.order[-1]
             in_scope = (
                 lambda module_name: config.layers.layer_of(module_name)
                 is not None
             )
+            factory_scope = lambda module_name: (
+                config.layers.layer_of(module_name) is not None
+                and config.layers.layer_of(module_name) != top
+            )
         #: per-node/per-event class qualname -> reason.
         self.per_node: Dict[str, str] = per_node_classes(
-            project, self.effects, in_scope
+            project, self.effects, in_scope, factory_scope
         )
 
     # ------------------------------------------------------------------
@@ -260,15 +269,21 @@ class SharedStateRule(ArchRule):
 
 
 class SlotsRule(ArchRule):
-    """REP203: per-node/per-event classes carry ``__slots__``."""
+    """REP203: per-node/per-event classes carry ``__slots__`` and avoid
+    string-keyed hot dicts."""
 
     code = "REP203"
     name = "per-node-slots"
     summary = (
         "class instantiated per-node/per-event lacks __slots__ (or "
-        "inherits a __dict__ from a slotless base); at 100k nodes the "
-        "per-instance dict dominates memory"
+        "inherits a __dict__ from a slotless base), or keeps a dict "
+        "subscripted with string-literal hot keys; at 100k nodes the "
+        "per-instance dict dominates memory and every string access "
+        "re-hashes what an interned int would compare in one word"
     )
+
+    #: dict methods whose first argument is the key.
+    _DICT_KEY_METHODS = frozenset({"get", "setdefault", "pop"})
 
     def run_arch(self, ctx: ArchContext, add: AddFn) -> None:
         reported: Set[str] = set()
@@ -278,6 +293,7 @@ class SlotsRule(ArchRule):
                 continue
             if ctx.config.slots.is_exempt(cls.qualname, cls.name):
                 continue
+            self._check_str_keyed_dicts(ctx, cls, add)
             if self._exempt_ancestry(ctx, cls):
                 continue
             offender = self._slotless_ancestor(cls)
@@ -298,6 +314,110 @@ class SlotsRule(ArchRule):
                 "add __slots__ (or dataclass(slots=True)), or exempt it "
                 "under [tool.repro-lint.slots]",
             )
+
+    # -- string-keyed hot dicts ----------------------------------------
+    def _check_str_keyed_dicts(
+        self, ctx: ArchContext, cls: ClassInfo, add: AddFn
+    ) -> None:
+        """Flag dict attributes of a per-node class whose methods access
+        them with string-literal (or f-string) keys.
+
+        A per-node ``self.stats["gossip"]`` hashes and compares a string
+        on every hot-path touch and keeps one str-keyed dict per node;
+        the compact-state substrate interns such key spaces to dense
+        integers once (``PatternSpace.intern_content``) so per-node state
+        can live in flat arrays.  Only *literal* string keys are flagged
+        — a dict keyed by a variable may already hold interned ints.
+        """
+        dict_attrs = self._dict_attrs(cls)
+        if not dict_attrs:
+            return
+        for attr, site in sorted(
+            self._str_keyed_sites(cls, dict_attrs).items()
+        ):
+            add(
+                cls.module,
+                site,
+                self.code,
+                f"per-node class {cls.name} accesses dict '{attr}' with "
+                "string-literal hot keys "
+                f"({ctx.per_node[cls.qualname]}); intern the key space to "
+                "integers (the PatternSpace.intern_content idiom) so "
+                "per-node state can use flat int-keyed columns, or exempt "
+                "the class under [tool.repro-lint.slots]",
+            )
+
+    @staticmethod
+    def _dict_attrs(cls: ClassInfo) -> Set[str]:
+        """Instance attributes assigned a dict (literal, comprehension,
+        ``dict()``/``defaultdict()``/``Counter()``) in any method."""
+        attrs: Set[str] = set()
+        for method in cls.methods.values():
+            for node in ast.walk(method.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                value = node.value
+                is_dict = isinstance(value, (ast.Dict, ast.DictComp))
+                if isinstance(value, ast.Call):
+                    parts = dotted_parts(value.func)
+                    is_dict = bool(parts) and parts[-1] in (
+                        "dict", "defaultdict", "OrderedDict", "Counter"
+                    )
+                if not is_dict:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+        return attrs
+
+    def _str_keyed_sites(
+        self, cls: ClassInfo, dict_attrs: Set[str]
+    ) -> Dict[str, ast.AST]:
+        """attr name -> first site where it is keyed by a string literal."""
+        sites: Dict[str, ast.AST] = {}
+        for method in cls.methods.values():
+            for node in ast.walk(method.node):
+                attr: Optional[str] = None
+                key: Optional[ast.expr] = None
+                if isinstance(node, ast.Subscript):
+                    attr = self._self_attr(node.value)
+                    key = node.slice
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._DICT_KEY_METHODS
+                    and node.args
+                ):
+                    attr = self._self_attr(node.func.value)
+                    key = node.args[0]
+                if (
+                    attr in dict_attrs
+                    and attr not in sites
+                    and key is not None
+                    and self._is_str_key(key)
+                ):
+                    sites[attr] = node
+        return sites
+
+    @staticmethod
+    def _self_attr(expr: ast.expr) -> Optional[str]:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr
+        return None
+
+    @staticmethod
+    def _is_str_key(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Constant):
+            return isinstance(expr.value, str)
+        return isinstance(expr, ast.JoinedStr)
 
     @staticmethod
     def _exempt_ancestry(ctx: ArchContext, cls: ClassInfo) -> bool:

@@ -96,7 +96,7 @@ _RNG_DRAW_METHODS = frozenset(
     }
 )
 _RNGISH = frozenset({"rng", "_rng", "rand", "random", "rnd"})
-_STREAM_METHODS = frozenset({"stream", "substreams"})
+_STREAM_METHODS = frozenset({"stream", "substreams", "compact_stream"})
 _WALL_CLOCK_CALLS = frozenset(
     {
         "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
@@ -677,6 +677,7 @@ def per_node_classes(
     project: Project,
     effect_map: EffectMap,
     in_scope: Optional[Callable[[str], bool]] = None,
+    factory_scope: Optional[Callable[[str], bool]] = None,
 ) -> Dict[str, str]:
     """``class qualname -> why it is per-node`` (seeds + fixpoint).
 
@@ -692,12 +693,20 @@ def per_node_classes(
     function's module name).  Loops in layer-mapped modules express
     per-node/per-event cardinality; loops in driver scripts and
     benchmarks sweep whole-simulation configurations, and must not make
-    one-per-run engine objects look per-node.  The closure is not
+    one-per-run engine objects look per-node.  ``factory_scope``
+    additionally limits which *factories* may seed when called in a
+    loop: a factory living in the driver layer (``run_scenario``)
+    constructs whole simulations, so a sweep calling it repeatedly says
+    nothing about per-node cardinality -- while the same loop over a
+    protocol-layer factory (``create_recovery``) is exactly the
+    one-object-per-node signal the heuristic wants.  The closure is not
     filtered: whatever a genuinely per-node class constructs is per-node
     wherever it lives.
     """
     if in_scope is None:
         in_scope = lambda module_name: True  # noqa: E731
+    if factory_scope is None:
+        factory_scope = in_scope
     called_in_loop: Set[str] = set()
     for record in effect_map.functions.values():
         if not in_scope(record.function.module.name):
@@ -724,7 +733,11 @@ def per_node_classes(
             reason: Optional[str] = None
             if construction.in_loop and seedable:
                 reason = f"constructed in a loop in {function.qualname}"
-            elif function.cls is None and function.qualname in called_in_loop:
+            elif (
+                function.cls is None
+                and function.qualname in called_in_loop
+                and factory_scope(function.module.name)
+            ):
                 reason = (
                     f"constructed by {function.qualname}(), itself called "
                     "in a loop"

@@ -15,7 +15,7 @@ window, so warm-up and the un-recoverable tail can be excluded).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.pubsub.event import Event, EventId
 from repro.metrics.timeseries import TimeSeries
@@ -24,6 +24,13 @@ __all__ = ["DeliveryTracker", "DeliveryStats"]
 
 
 class _EventRecord:
+    """Classic record: recipient hash sets (the paper-scale layout).
+
+    C-speed membership and insertion on the per-delivery hot path; kept
+    as the default because the bitmap layout below trades exactly that
+    speed for memory.
+    """
+
     __slots__ = (
         "publish_time",
         "expected",
@@ -33,10 +40,63 @@ class _EventRecord:
         "recovered_latency_sum",
     )
 
-    def __init__(self, publish_time: float, expected: frozenset) -> None:
+    def __init__(self, publish_time: float, expected: Iterable[int]) -> None:
         self.publish_time = publish_time
-        self.expected = expected
+        self.expected = frozenset(expected)
         self.delivered: Set[int] = set()
+        self.recovered = 0
+        self.latency_sum = 0.0
+        self.recovered_latency_sum = 0.0
+
+    @property
+    def expected_count(self) -> int:
+        return len(self.expected)
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.delivered)
+
+
+class _CompactEventRecord:
+    """Expected/delivered recipients of one event, as node-id bitmaps.
+
+    Recipient populations scale with N (a pattern's subscribers are a
+    fixed *fraction* of the network), so at 10^5 nodes the hash sets of
+    :class:`_EventRecord` dominate the tracker's footprint -- ~N/8 bytes
+    per event in bitmap form versus ~60 bytes per recipient as a set.
+    Only membership, insertion and counting are ever needed.  Selected
+    by ``DeliveryTracker(compact=True)`` (the large-scale runs); the
+    per-delivery bit arithmetic is Python-level, so paper-scale runs
+    keep the classic record.
+    """
+
+    __slots__ = (
+        "publish_time",
+        "expected_bits",
+        "expected_count",
+        "delivered_bits",
+        "delivered_count",
+        "recovered",
+        "latency_sum",
+        "recovered_latency_sum",
+    )
+
+    def __init__(self, publish_time: float, expected: Iterable[int]) -> None:
+        self.publish_time = publish_time
+        bits = bytearray()
+        count = 0
+        for node_id in expected:
+            byte = node_id >> 3
+            if byte >= len(bits):
+                bits.extend(bytes(byte + 1 - len(bits)))
+            mask = 1 << (node_id & 7)
+            if not bits[byte] & mask:
+                bits[byte] |= mask
+                count += 1
+        self.expected_bits = bytes(bits)
+        self.expected_count = count
+        self.delivered_bits = bytearray(len(bits))
+        self.delivered_count = 0
         self.recovered = 0
         self.latency_sum = 0.0
         self.recovered_latency_sum = 0.0
@@ -93,10 +153,19 @@ class DeliveryStats:
 
 
 class DeliveryTracker:
-    """Track expected vs. actual deliveries for every published event."""
+    """Track expected vs. actual deliveries for every published event.
 
-    def __init__(self) -> None:
-        self._records: Dict[EventId, _EventRecord] = {}
+    ``compact=True`` switches the per-event records to node-id bitmaps
+    (O(N/8) bytes per event instead of O(recipients) hash-set entries);
+    behaviour is identical, only the representation -- and the
+    speed/memory trade -- changes.  The builder enables it together
+    with the columnar cache layout (``effective_cache_layout``).
+    """
+
+    def __init__(self, compact: bool = False) -> None:
+        self._compact = compact
+        self._record_cls = _CompactEventRecord if compact else _EventRecord
+        self._records: Dict[EventId, Any] = {}
         self.untracked_deliveries = 0
         self.unexpected_deliveries = 0
         self.duplicate_deliveries = 0
@@ -106,8 +175,8 @@ class DeliveryTracker:
     # ------------------------------------------------------------------
     def on_publish(self, event: Event, expected: Iterable[int]) -> None:
         """Register a published event with its ground-truth recipients."""
-        self._records[event.event_id] = _EventRecord(
-            event.publish_time, frozenset(expected)
+        self._records[event.event_id] = self._record_cls(
+            event.publish_time, expected
         )
 
     def on_deliver(self, node_id: int, event: Event, recovered: bool, now: float) -> None:
@@ -121,13 +190,27 @@ class DeliveryTracker:
         if record is None:
             self.untracked_deliveries += 1
             return
-        if node_id not in record.expected:
-            self.unexpected_deliveries += 1
-            return
-        if node_id in record.delivered:
-            self.duplicate_deliveries += 1
-            return
-        record.delivered.add(node_id)
+        if self._compact:
+            byte = node_id >> 3
+            mask = 1 << (node_id & 7)
+            expected_bits = record.expected_bits
+            if byte >= len(expected_bits) or not expected_bits[byte] & mask:
+                self.unexpected_deliveries += 1
+                return
+            if record.delivered_bits[byte] & mask:
+                self.duplicate_deliveries += 1
+                return
+            record.delivered_bits[byte] |= mask
+            record.delivered_count += 1
+        else:
+            if node_id not in record.expected:
+                self.unexpected_deliveries += 1
+                return
+            delivered = record.delivered
+            if node_id in delivered:
+                self.duplicate_deliveries += 1
+                return
+            delivered.add(node_id)
         latency = now - record.publish_time
         record.latency_sum += latency
         if recovered:
@@ -150,8 +233,8 @@ class DeliveryTracker:
             if not start <= record.publish_time < end:
                 continue
             events += 1
-            expected += len(record.expected)
-            delivered += len(record.delivered)
+            expected += record.expected_count
+            delivered += record.delivered_count
             recovered += record.recovered
             latency_sum += record.latency_sum
             recovered_latency_sum += record.recovered_latency_sum
@@ -197,8 +280,8 @@ class DeliveryTracker:
             index = int((record.publish_time - start) / bin_width)
             if index < 0 or index >= bin_count:
                 continue
-            expected_by_bin[index] += len(record.expected)
-            fulfilled = len(record.delivered)
+            expected_by_bin[index] += record.expected_count
+            fulfilled = record.delivered_count
             if not include_recovery:
                 fulfilled -= record.recovered
             delivered_by_bin[index] += fulfilled
@@ -217,7 +300,7 @@ class DeliveryTracker:
     def pending_pairs(self) -> int:
         """Expected deliveries still unfulfilled (useful in tests)."""
         return sum(
-            len(record.expected) - len(record.delivered)
+            record.expected_count - record.delivered_count
             for record in self._records.values()
         )
 

@@ -21,12 +21,15 @@ dispatcher, and so do we).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Optional, Protocol, Set, Tuple
+from typing import (
+    Any, Callable, Dict, Iterable, Optional, Protocol, Set, Tuple, Union,
+)
 
 from repro.network.message import Message, MessageKind
 from repro.network.network import Network
 from repro.pubsub.cache import EventCache
-from repro.pubsub.event import Event, EventId
+from repro.pubsub.compact import CompactEventCache
+from repro.pubsub.event import Event, EventId, EventIdRegistry, ReceivedLog
 from repro.pubsub.pattern import LOCAL, PatternSpace
 from repro.pubsub.subscription import SubscriptionTable
 from repro.sim.engine import Simulator
@@ -123,13 +126,20 @@ class Dispatcher:
         on_deliver: Optional[DeliveryCallback] = None,
         cache_policy: str = "fifo",
         cache_rng=None,
+        cache_layout: str = "classic",
+        event_registry: Optional[EventIdRegistry] = None,
     ) -> None:
         self.node_id = node_id
         self.sim = sim
         self.network = network
         self.pattern_space = pattern_space
-        self.table = SubscriptionTable()
-        self.cache = EventCache(buffer_size, policy=cache_policy, rng=cache_rng)
+        self.table = SubscriptionTable(pattern_space.size)
+        if cache_layout == "compact":
+            self.cache = CompactEventCache(buffer_size, policy=cache_policy)
+        else:
+            self.cache = EventCache(
+                buffer_size, policy=cache_policy, rng=cache_rng
+            )
         self.record_routes = record_routes
         self.on_deliver = on_deliver
         #: invoked with the fresh event right after creation, before local
@@ -153,8 +163,14 @@ class Dispatcher:
         self.send_oob_request: Callable[[int, Any], None] = self._send_oob_request
 
         #: ids of every event ever received (normally or via recovery);
-        #: used for duplicate suppression and push-digest checks.
-        self.received_ids: Set[EventId] = set()
+        #: used for duplicate suppression and push-digest checks.  With a
+        #: shared dense registry (the compact layout) this is a bitmap
+        #: over it -- a hash set here was the largest per-node structure
+        #: at 10^5 nodes; without one it stays a plain set (C-speed
+        #: membership on the paper-scale hot path).
+        self.received_ids: Union[ReceivedLog, Set[EventId]] = (
+            ReceivedLog(event_registry) if event_registry is not None else set()
+        )
         #: next event-id sequence number for events published here.
         self._next_event_seq = 1
         #: per-pattern sequence counters for loss-detection tags.
@@ -270,11 +286,18 @@ class Dispatcher:
             pattern_seqs[pattern] = seq
         # Publisher-side full match (Section IV-E computational overhead).
         self.match_operations += len(self.table)
+        # Intern the content once at the source: every copy of the event
+        # shares one canonical pattern tuple, and downstream hot paths key
+        # their match memos on the small ``content_id`` int.
+        canonical, content_id = self.pattern_space.intern_content(
+            tuple(sorted(patterns))
+        )
         event = Event(
             EventId(self.node_id, self._next_event_seq),
-            tuple(sorted(patterns)),
+            canonical,
             pattern_seqs,
             self.sim.now,
+            content_id,
         )
         self._next_event_seq += 1
         self.published_count += 1
@@ -284,7 +307,7 @@ class Dispatcher:
         if self.recovery is not None:
             self.recovery.on_event_published(event)
         self.received_ids.add(event.event_id)
-        directions = self.table.matching_directions_sorted(event.patterns)
+        directions = self.table.matching_directions_for(content_id, canonical)
         if directions and directions[0] == LOCAL:
             self._deliver(event, recovered=False)
         # "Each dispatcher caches only events for which it is either the
@@ -311,7 +334,7 @@ class Dispatcher:
             return
         patterns = event.patterns
         if directions is None:
-            directions = self.table.matching_directions_sorted(patterns)
+            directions = self._matching_directions(event)
         self.match_operations += len(patterns)
         if not directions:
             return
@@ -344,6 +367,18 @@ class Dispatcher:
                 observer.count_send(_EVENT, node_id)
                 observer.count_drop(_EVENT)
 
+    def _matching_directions(self, event: Event) -> Tuple[int, ...]:
+        """Memoized direction tuple for ``event``'s content.
+
+        Interned events key the shared memo by their ``content_id`` int
+        (one hash of a machine int); uninterned events (constructed outside
+        a pattern space) fall back to the pattern-tuple key.
+        """
+        content_id = event.content_id
+        if content_id >= 0:
+            return self.table.matching_directions_for(content_id, event.patterns)
+        return self.table.matching_directions_sorted(event.patterns)
+
     def _handle_event(self, payload: Tuple[Event, Route], from_node: int) -> None:
         event, route = payload
         event_id = event.event_id
@@ -353,7 +388,7 @@ class Dispatcher:
         received_ids.add(event_id)
         # One memoized table query serves the local-match test and the
         # forwarding decision (LOCAL sorts first: it is -1, node ids >= 0).
-        directions = self.table.matching_directions_sorted(event.patterns)
+        directions = self._matching_directions(event)
         is_subscriber = bool(directions) and directions[0] == LOCAL
         if is_subscriber:
             self._deliver(event, recovered=False)
@@ -375,7 +410,8 @@ class Dispatcher:
         if event.event_id in self.received_ids:
             return
         self.received_ids.add(event.event_id)
-        is_subscriber = self.table.matches_locally(event.patterns)
+        directions = self._matching_directions(event)
+        is_subscriber = bool(directions) and directions[0] == LOCAL
         if is_subscriber:
             self.recovered_count += 1
             self._deliver(event, recovered=True)
@@ -396,7 +432,8 @@ class Dispatcher:
         if event.event_id in self.received_ids:
             return False
         self.received_ids.add(event.event_id)
-        if self.table.matches_locally(event.patterns):
+        directions = self._matching_directions(event)
+        if bool(directions) and directions[0] == LOCAL:
             self.recovered_count += 1
             self._deliver(event, recovered=True)
         if self.recovery is not None:

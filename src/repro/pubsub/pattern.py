@@ -14,7 +14,7 @@ workload layer.
 from __future__ import annotations
 
 import random
-from typing import Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["LOCAL", "PatternSpace"]
 
@@ -41,6 +41,35 @@ class PatternSpace:
         if size <= 0:
             raise ValueError(f"pattern space size must be positive, got {size}")
         self.size = size
+        # Content interner: event contents (sorted pattern tuples) are mapped
+        # to small integers in first-occurrence order, so the hot matching
+        # paths can memoize on one machine int instead of hashing a tuple,
+        # and every event carrying the same content shares one tuple object.
+        # First-occurrence order makes the assignment deterministic for a
+        # fixed workload stream.
+        self._content_ids: Dict[Tuple[int, ...], int] = {}
+        self._contents: List[Tuple[int, ...]] = []
+
+    def intern_content(
+        self, patterns: Tuple[int, ...]
+    ) -> Tuple[Tuple[int, ...], int]:
+        """Return ``(canonical_tuple, content_id)`` for one event content.
+
+        ``patterns`` must already be sorted (the workload draws produce
+        sorted tuples).  The canonical tuple is shared across all events
+        with the same content.
+        """
+        content_id = self._content_ids.get(patterns)
+        if content_id is None:
+            content_id = len(self._contents)
+            self._content_ids[patterns] = content_id
+            self._contents.append(patterns)
+            return patterns, content_id
+        return self._contents[content_id], content_id
+
+    def content(self, content_id: int) -> Tuple[int, ...]:
+        """The canonical pattern tuple for an interned content id."""
+        return self._contents[content_id]
 
     def contains(self, pattern: int) -> bool:
         return 0 <= pattern < self.size

@@ -10,11 +10,25 @@ The table also remembers, per pattern, the directions a subscription has
 already been forwarded to, implementing the paper's optimization:
 *"avoiding subscription forwarding of the same event pattern in the same
 direction"*.
+
+Compact representation
+----------------------
+Directions are stored as *bitmasks* over a small per-table direction
+registry (a node has at most ``max_degree`` neighbors plus LOCAL), not as
+one ``set`` object per pattern.  With the pattern universe size passed in
+(``n_patterns``), the per-pattern masks live in two flat ``array('Q')``
+columns indexed by the interned pattern id -- ~1 KB per node at Π = 70
+where the set-of-sets layout cost ~37 KB (see docs/PERFORMANCE.md,
+"Compact state & scaling").  Without the size hint the masks fall back to a
+dict keyed by pattern, preserving the open-universe API for tests and
+interactive use.  All query methods return the same deterministic (sorted)
+collections in either mode.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.pubsub.pattern import LOCAL
 
@@ -24,13 +38,29 @@ __all__ = ["SubscriptionTable"]
 #: adversarial workloads; realistic pattern universes stay far below it.
 _MATCH_CACHE_LIMIT = 1 << 16
 
+#: Dense masks are 64-bit array slots; a table referencing more than 64
+#: distinct directions over its lifetime first compacts the registry
+#: (dropping directions no mask still uses) before giving up.
+_DENSE_MASK_BITS = 64
+
+_Masks = Union[Dict[int, int], array]
+
 
 class SubscriptionTable:
     """Routing state of one dispatcher.
 
-    The structure is intentionally simple: ``{pattern: set(direction)}``.
-    All query methods return deterministic (sorted) collections so that
+    The structure is a direction *bitmask* per pattern: bit ``i`` set means
+    events matching the pattern are forwarded toward ``_dir_ids[i]``.  All
+    query methods return deterministic (sorted) collections so that
     simulations are reproducible regardless of hash randomization.
+
+    Parameters
+    ----------
+    n_patterns:
+        Size of the pattern universe (Π).  When given, masks are stored in
+        flat ``array('Q')`` columns indexed by pattern id (the compact
+        per-node layout); when ``None`` they live in a dict keyed by
+        pattern (open universe, test-friendly).
 
     Matching memo
     -------------
@@ -39,18 +69,169 @@ class SubscriptionTable:
     in the paper's stable-subscription regime).  The per-event routing
     queries -- :meth:`matching_directions_sorted` and
     :meth:`matches_locally` -- are therefore memoized on the event's
-    pattern tuple; *any* mutation of the table invalidates the whole memo
-    (see :meth:`_invalidate`).
+    pattern tuple (or its interned content id, see
+    :meth:`matching_directions_for`); *any* mutation of the table
+    invalidates the whole memo (see :meth:`_invalidate`).
     """
 
-    __slots__ = ("_directions", "_forwarded", "_match_cache")
+    __slots__ = ("_size", "_dense", "_dir_ids", "_dir_bits", "_masks",
+                 "_fwd_masks", "_known", "_match_cache", "_mask_intern")
 
-    def __init__(self) -> None:
-        self._directions: Dict[int, Set[int]] = {}
-        self._forwarded: Dict[int, Set[int]] = {}
-        #: pattern tuple -> sorted direction tuple (LOCAL first if present,
-        #: since LOCAL is -1 and node ids are >= 0).
-        self._match_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+    def __init__(self, n_patterns: Optional[int] = None) -> None:
+        if n_patterns is not None and n_patterns < 0:
+            raise ValueError(f"n_patterns must be >= 0, got {n_patterns}")
+        self._size = n_patterns
+        self._dense = n_patterns is not None
+        #: direction registry: bit index -> direction id, and its inverse.
+        self._dir_ids: List[int] = []
+        self._dir_bits: Dict[int, int] = {}
+        self._masks: _Masks
+        self._fwd_masks: _Masks
+        if self._dense:
+            self._masks = array("Q", bytes(8 * n_patterns))
+            self._fwd_masks = array("Q", bytes(8 * n_patterns))
+        else:
+            self._masks = {}
+            self._fwd_masks = {}
+        #: number of patterns with a nonzero direction mask (kept
+        #: incrementally so ``len(table)`` stays O(1) in dense mode).
+        self._known = 0
+        #: content key (pattern tuple or interned content id) -> sorted
+        #: direction tuple (LOCAL first if present, since LOCAL is -1 and
+        #: node ids are >= 0).
+        self._match_cache: Dict[object, Tuple[int, ...]] = {}
+        #: direction-mask -> decoded tuple intern pool.  Many memo entries
+        #: decode to the same direction set (a table with d live directions
+        #: has at most 2^(d+1) distinct tuples, while the memo holds one
+        #: entry per distinct event content), so sharing one tuple per mask
+        #: cuts the memo's value storage by the repetition factor.
+        self._mask_intern: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Direction registry
+    # ------------------------------------------------------------------
+    def _register_direction(self, direction: int) -> int:
+        """Bit value for ``direction``, registering it on first use.
+
+        Registration invalidates the matching memo (the registry is memo
+        backing state); repeated registrations are pure lookups and happen
+        on the callers' fast paths via ``_dir_bits.get``.
+        """
+        self._invalidate()
+        bits = self._dir_bits
+        bit = bits.get(direction)
+        if bit is None:
+            if self._dense and len(self._dir_ids) >= _DENSE_MASK_BITS:
+                self._compact_registry()
+                bits = self._dir_bits  # compaction rebinds the registry
+                bit = bits.get(direction)
+                if bit is not None:
+                    return 1 << bit
+            bit = len(self._dir_ids)
+            if self._dense and bit >= _DENSE_MASK_BITS:
+                # A genuine hub: more than 64 live directions (scale-free
+                # overlays concentrate degree).  Migrate this one table to
+                # the sparse layout, whose Python-int masks are unbounded;
+                # the rest of the network stays dense.
+                self._go_sparse()
+            self._dir_ids.append(direction)
+            bits[direction] = bit
+        return 1 << bit
+
+    def _go_sparse(self) -> None:
+        """Switch from the dense array columns to dict masks.
+
+        Used when a table outgrows the 64 direction bits an ``array('Q')``
+        slot offers.  Registry, bit assignments, and mask *values* are
+        preserved -- only the storage changes -- so every query keeps
+        returning the same results.
+        """
+        self._invalidate()  # memo backing state changes representation
+        self._masks = {
+            pattern: mask for pattern, mask in enumerate(self._masks) if mask
+        }
+        self._fwd_masks = {
+            pattern: mask
+            for pattern, mask in enumerate(self._fwd_masks)
+            if mask
+        }
+        self._dense = False
+
+    def _compact_registry(self) -> None:
+        """Rebuild the registry keeping only directions some mask still
+        uses (reconfiguration churn retires old neighbors' bits)."""
+        used = 0
+        for mask in self._iter_masks():
+            used |= mask
+        for mask in self._iter_fwd_masks():
+            used |= mask
+        survivors = [
+            direction
+            for bit, direction in enumerate(self._dir_ids)
+            if used >> bit & 1
+        ]
+        remap = {
+            self._dir_bits[direction]: new_bit
+            for new_bit, direction in enumerate(survivors)
+        }
+        self._remap_masks(self._masks, remap)
+        self._remap_masks(self._fwd_masks, remap)
+        self._dir_ids = survivors
+        self._dir_bits = {d: i for i, d in enumerate(survivors)}
+
+    def _iter_masks(self) -> Iterable[int]:
+        return self._masks if self._dense else self._masks.values()
+
+    def _iter_fwd_masks(self) -> Iterable[int]:
+        return self._fwd_masks if self._dense else self._fwd_masks.values()
+
+    def _remap_masks(self, masks: _Masks, remap: Dict[int, int]) -> None:
+        items = (
+            enumerate(masks)
+            if self._dense
+            else list(masks.items())  # type: ignore[union-attr]
+        )
+        for key, mask in items:
+            new_mask = 0
+            while mask:
+                low = mask & -mask
+                bit = low.bit_length() - 1
+                new_bit = remap.get(bit)
+                if new_bit is not None:
+                    new_mask |= 1 << new_bit
+                mask ^= low
+            masks[key] = new_mask  # type: ignore[index]
+
+    def _decode(self, mask: int) -> List[int]:
+        """Sorted direction ids of one mask."""
+        dir_ids = self._dir_ids
+        result = []
+        while mask:
+            low = mask & -mask
+            result.append(dir_ids[low.bit_length() - 1])
+            mask ^= low
+        result.sort()
+        return result
+
+    def _mask_of(self, pattern: int) -> int:
+        if self._dense:
+            if 0 <= pattern < self._size:  # type: ignore[operator]
+                return self._masks[pattern]
+            return 0
+        return self._masks.get(pattern, 0)  # type: ignore[union-attr]
+
+    def _fwd_mask_of(self, pattern: int) -> int:
+        if self._dense:
+            if 0 <= pattern < self._size:  # type: ignore[operator]
+                return self._fwd_masks[pattern]
+            return 0
+        return self._fwd_masks.get(pattern, 0)  # type: ignore[union-attr]
+
+    def _known_patterns(self) -> List[int]:
+        if self._dense:
+            masks = self._masks
+            return [p for p in range(self._size) if masks[p]]  # type: ignore[arg-type]
+        return sorted(self._masks)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
     # Mutation
@@ -63,11 +244,17 @@ class SubscriptionTable:
         this to decide whether to propagate the subscription further.
         """
         self._invalidate()
-        directions = self._directions.get(pattern)
-        if directions is None:
-            self._directions[pattern] = {direction}
+        if self._dense and not 0 <= pattern < self._size:  # type: ignore[operator]
+            raise ValueError(
+                f"pattern {pattern} outside dense universe [0, {self._size})"
+            )
+        bit_value = self._register_direction(direction)
+        mask = self._mask_of(pattern)
+        if mask == 0:
+            self._known += 1
+            self._masks[pattern] = bit_value  # type: ignore[index]
             return True
-        directions.add(direction)
+        self._masks[pattern] = mask | bit_value  # type: ignore[index]
         return False
 
     def remove(self, pattern: int, direction: int) -> None:
@@ -78,32 +265,71 @@ class SubscriptionTable:
         (``unmark_forwarded``) -- dropping them here would leave neighbors
         believing we still want the pattern.
         """
-        directions = self._directions.get(pattern)
-        if directions is None:
+        mask = self._mask_of(pattern)
+        if mask == 0:
             return
         self._invalidate()
-        directions.discard(direction)
-        if not directions:
-            del self._directions[pattern]
+        bit = self._dir_bits.get(direction)
+        if bit is None or not mask >> bit & 1:
+            return
+        mask &= ~(1 << bit)
+        if mask == 0:
+            self._known -= 1
+            if self._dense:
+                self._masks[pattern] = 0
+            else:
+                del self._masks[pattern]  # type: ignore[union-attr]
+        else:
+            self._masks[pattern] = mask  # type: ignore[index]
 
     def clear(self) -> None:
         """Drop all routing state (used when routes are rebuilt)."""
         self._invalidate()
-        self._directions.clear()
-        self._forwarded.clear()
+        if self._dense:
+            zeros = bytes(8 * self._size)  # type: ignore[operator]
+            self._masks = array("Q", zeros)
+            self._fwd_masks = array("Q", zeros)
+        else:
+            self._masks.clear()  # type: ignore[union-attr]
+            self._fwd_masks.clear()  # type: ignore[union-attr]
+        self._dir_ids.clear()
+        self._dir_bits.clear()
+        self._known = 0
 
     def drop_direction(self, direction: int) -> None:
         """Remove a neighbor from every pattern (neighbor disappeared)."""
         self._invalidate()
-        empty = []
-        for pattern, directions in self._directions.items():
-            directions.discard(direction)
-            if not directions:
-                empty.append(pattern)
-        for pattern in empty:
-            del self._directions[pattern]
-        for forwarded in self._forwarded.values():
-            forwarded.discard(direction)
+        bit = self._dir_bits.get(direction)
+        if bit is None:
+            return
+        keep = ~(1 << bit)
+        if self._dense:
+            masks = self._masks
+            for pattern in range(self._size):  # type: ignore[arg-type]
+                mask = masks[pattern]
+                if mask:
+                    mask &= keep
+                    masks[pattern] = mask
+                    if mask == 0:
+                        self._known -= 1
+            fwd_masks = self._fwd_masks
+            for pattern in range(self._size):  # type: ignore[arg-type]
+                mask = fwd_masks[pattern]
+                if mask:
+                    fwd_masks[pattern] = mask & keep
+        else:
+            empty = []
+            for pattern, mask in self._masks.items():  # type: ignore[union-attr]
+                mask &= keep
+                if mask:
+                    self._masks[pattern] = mask  # type: ignore[index]
+                else:
+                    empty.append(pattern)
+            for pattern in empty:
+                del self._masks[pattern]  # type: ignore[union-attr]
+                self._known -= 1
+            for pattern, mask in self._fwd_masks.items():  # type: ignore[union-attr]
+                self._fwd_masks[pattern] = mask & keep  # type: ignore[index]
 
     # ------------------------------------------------------------------
     # Forwarding dedup (the paper's optimization)
@@ -112,42 +338,60 @@ class SubscriptionTable:
         """Record that the subscription for ``pattern`` was propagated to
         ``direction``.  Returns ``False`` if it already had been (the caller
         must then *not* forward again)."""
-        forwarded = self._forwarded.setdefault(pattern, set())
-        if direction in forwarded:
+        bit = self._dir_bits.get(direction)
+        if bit is None:
+            bit_value = self._register_direction(direction)
+        else:
+            bit_value = 1 << bit
+        mask = self._fwd_mask_of(pattern)
+        if mask & bit_value:
             return False
-        forwarded.add(direction)
+        self._fwd_masks[pattern] = mask | bit_value  # type: ignore[index]
         return True
 
     def unmark_forwarded(self, pattern: int, direction: int) -> None:
         """Forget that ``pattern`` was propagated to ``direction`` (after an
         unsubscription), so a future re-subscription propagates again."""
-        forwarded = self._forwarded.get(pattern)
-        if forwarded is not None:
-            forwarded.discard(direction)
+        bit = self._dir_bits.get(direction)
+        if bit is None:
+            return
+        mask = self._fwd_mask_of(pattern)
+        if not mask >> bit & 1:
+            return
+        mask &= ~(1 << bit)
+        if mask == 0 and not self._dense:
+            del self._fwd_masks[pattern]  # type: ignore[union-attr]
+        else:
+            self._fwd_masks[pattern] = mask  # type: ignore[index]
 
     def was_forwarded(self, pattern: int, direction: int) -> bool:
-        return direction in self._forwarded.get(pattern, ())
+        bit = self._dir_bits.get(direction)
+        return bit is not None and bool(self._fwd_mask_of(pattern) >> bit & 1)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def directions(self, pattern: int) -> List[int]:
         """Sorted directions subscribed to ``pattern`` (may include LOCAL)."""
-        return sorted(self._directions.get(pattern, ()))
+        return self._decode(self._mask_of(pattern))
 
     def neighbor_directions(self, pattern: int) -> List[int]:
         """Sorted *neighbor* directions for ``pattern`` (LOCAL excluded)."""
-        return sorted(
-            d for d in self._directions.get(pattern, ()) if d != LOCAL
-        )
+        mask = self._mask_of(pattern)
+        local_bit = self._dir_bits.get(LOCAL)
+        if local_bit is not None:
+            mask &= ~(1 << local_bit)
+        return self._decode(mask)
 
     def has_pattern(self, pattern: int) -> bool:
-        return pattern in self._directions
+        return self._mask_of(pattern) != 0
 
     def is_local(self, pattern: int) -> bool:
         """True iff this dispatcher itself subscribes to ``pattern``."""
-        directions = self._directions.get(pattern)
-        return directions is not None and LOCAL in directions
+        local_bit = self._dir_bits.get(LOCAL)
+        return local_bit is not None and bool(
+            self._mask_of(pattern) >> local_bit & 1
+        )
 
     def patterns(self) -> List[int]:
         """All patterns known to the table (own + forwarded), sorted.
@@ -155,7 +399,7 @@ class SubscriptionTable:
         This is the pool the *push* algorithm draws from ("p is selected by
         considering the whole subscription table").
         """
-        return sorted(self._directions)
+        return self._known_patterns()
 
     def local_patterns(self) -> List[int]:
         """Patterns subscribed locally, sorted.
@@ -164,16 +408,32 @@ class SubscriptionTable:
         pattern p among the ones associated to subscriptions issued
         locally").
         """
+        local_bit = self._dir_bits.get(LOCAL)
+        if local_bit is None:
+            return []
+        if self._dense:
+            masks = self._masks
+            return [
+                p
+                for p in range(self._size)  # type: ignore[arg-type]
+                if masks[p] >> local_bit & 1
+            ]
         return sorted(
             pattern
-            for pattern, directions in self._directions.items()
-            if LOCAL in directions
+            for pattern, mask in self._masks.items()  # type: ignore[union-attr]
+            if mask >> local_bit & 1
         )
 
     def _invalidate(self) -> None:
-        """Drop the matching memo; called on every table mutation."""
+        """Drop the matching memo; called on every table mutation.
+
+        The mask-intern pool goes with it: decoded tuples are a function
+        of the direction registry, which mutations may rewrite.
+        """
         if self._match_cache:
             self._match_cache.clear()
+        if self._mask_intern:
+            self._mask_intern.clear()
 
     def _matching_tuple(self, patterns: Iterable[int]) -> Tuple[int, ...]:
         """Memoized sorted direction tuple for one event content."""
@@ -182,17 +442,28 @@ class SubscriptionTable:
         cached = cache.get(key)
         if cached is not None:
             return cached
-        result: Set[int] = set()
-        directions_by_pattern = self._directions
-        for pattern in key:
-            directions = directions_by_pattern.get(pattern)
-            if directions:
-                result |= directions
-        value = tuple(sorted(result))
+        value = self._compute_matching(key)
         if len(cache) >= _MATCH_CACHE_LIMIT:
             cache.clear()
         cache[key] = value
         return value
+
+    def _compute_matching(self, key: Tuple[int, ...]) -> Tuple[int, ...]:
+        mask = 0
+        if self._dense:
+            masks = self._masks
+            size = self._size
+            for pattern in key:
+                if 0 <= pattern < size:  # type: ignore[operator]
+                    mask |= masks[pattern]
+        else:
+            masks = self._masks
+            for pattern in key:
+                mask |= masks.get(pattern, 0)  # type: ignore[union-attr]
+        interned = self._mask_intern.get(mask)
+        if interned is None:
+            interned = self._mask_intern[mask] = tuple(self._decode(mask))
+        return interned
 
     def matching_directions(self, patterns: Iterable[int]) -> Set[int]:
         """Union of directions over the given event content.
@@ -213,17 +484,38 @@ class SubscriptionTable:
         """
         return self._matching_tuple(patterns)
 
+    def matching_directions_for(
+        self, content_id: int, patterns: Tuple[int, ...]
+    ) -> Tuple[int, ...]:
+        """Sorted direction tuple keyed by an interned content id.
+
+        The large-scale hot path: when event contents are interned (see
+        :meth:`repro.pubsub.pattern.PatternSpace.intern_content`), the memo
+        key is the content's small int -- hashed in a few ns -- instead of
+        the pattern tuple.  Content ids and pattern tuples never collide as
+        dict keys, so both keying schemes share one memo.
+        """
+        cache = self._match_cache
+        cached = cache.get(content_id)
+        if cached is not None:
+            return cached
+        value = self._compute_matching(patterns)
+        if len(cache) >= _MATCH_CACHE_LIMIT:
+            cache.clear()
+        cache[content_id] = value
+        return value
+
     def matches_locally(self, patterns: Iterable[int]) -> bool:
         """True iff any of the event's patterns is locally subscribed."""
         matching = self._matching_tuple(patterns)
         return bool(matching) and matching[0] == LOCAL
 
     def __len__(self) -> int:
-        return len(self._directions)
+        return self._known
 
     def __iter__(self) -> Iterator[Tuple[int, List[int]]]:
-        for pattern in sorted(self._directions):
+        for pattern in self._known_patterns():
             yield pattern, self.directions(pattern)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<SubscriptionTable patterns={len(self._directions)}>"
+        return f"<SubscriptionTable patterns={self._known}>"

@@ -21,7 +21,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tupl
 
 from repro.network.network import Network
 from repro.pubsub.dispatcher import DeliveryCallback, Dispatcher
-from repro.pubsub.event import Event
+from repro.pubsub.event import Event, EventIdRegistry
 from repro.pubsub.pattern import LOCAL, PatternSpace
 from repro.sim.engine import Simulator
 from repro.topology.tree import Tree
@@ -59,11 +59,19 @@ class PubSubSystem:
         on_deliver: Optional[DeliveryCallback] = None,
         cache_policy: str = "fifo",
         cache_rng_factory=None,
+        cache_layout: str = "classic",
     ) -> None:
         self.sim = sim
         self.network = network
         self.pattern_space = pattern_space
         self.dispatchers: List[Dispatcher] = []
+        #: One dense event-id index shared by every node's received log --
+        #: only materialized for the compact layout, where the per-node
+        #: logs become bitmaps over it.  Classic-layout nodes keep plain
+        #: hash sets (C-speed membership on the per-receipt hot path).
+        self.event_registry = (
+            EventIdRegistry() if cache_layout == "compact" else None
+        )
         for node_id in range(tree.node_count):
             dispatcher = Dispatcher(
                 node_id,
@@ -75,6 +83,8 @@ class PubSubSystem:
                 on_deliver=on_deliver,
                 cache_policy=cache_policy,
                 cache_rng=cache_rng_factory(node_id) if cache_rng_factory else None,
+                cache_layout=cache_layout,
+                event_registry=self.event_registry,
             )
             network.add_node(dispatcher)
             self.dispatchers.append(dispatcher)
@@ -185,9 +195,27 @@ class PubSubSystem:
             table = self.dispatchers[node_id].table
             for pattern in patterns:
                 table.add(pattern, LOCAL)
+        # The component traversal (BFS order, parent map, children lists)
+        # depends only on the overlay, not on the pattern -- hoist it out
+        # of the per-pattern loop.  Previously each of the Π_active
+        # patterns re-ran its own BFS: Π·N node visits per rebuild, which
+        # dominates setup at 10⁵ nodes.
+        components = []
+        visited: Set[int] = set()
+        for start in range(self.node_count):
+            if start in visited:
+                continue
+            order, parents = self._traversal_order(adjacency, start)
+            visited.update(order)
+            children: Dict[int, List[int]] = {node: [] for node in order}
+            for node in order:
+                parent = parents[node]
+                if parent is not None:
+                    children[parent].append(node)
+            components.append((order, parents, children, set(order)))
         for pattern, subscribers in self._subscribers.items():
             if subscribers:
-                self._lay_routes_for_pattern(adjacency, pattern, subscribers)
+                self._lay_routes_for_pattern(pattern, subscribers, components)
         # Protocol-equivalent forwarded marks: x has forwarded p toward m
         # iff x's side of the x--m edge contains a subscriber, which is
         # exactly when m's table points at x for p.
@@ -202,17 +230,14 @@ class PubSubSystem:
 
     def _lay_routes_for_pattern(
         self,
-        adjacency: Mapping[int, List[int]],
         pattern: int,
         subscribers: Set[int],
+        components: List[Tuple[List[int], Dict[int, Optional[int]],
+                               Dict[int, List[int]], Set[int]]],
     ) -> None:
-        visited: Set[int] = set()
-        for start in range(self.node_count):
-            if start in visited:
-                continue
-            component_order, parents = self._traversal_order(adjacency, start)
-            visited.update(component_order)
-            if not subscribers.intersection(component_order):
+        dispatchers = self.dispatchers
+        for component_order, parents, children, members in components:
+            if not subscribers & members:
                 continue
             # Post-order pass: does the subtree rooted at x (w.r.t. this
             # traversal) contain a subscriber?
@@ -220,37 +245,33 @@ class PubSubSystem:
             for node in reversed(component_order):
                 below = node in subscribers
                 if not below:
-                    for neighbor in adjacency[node]:
-                        if parents.get(neighbor) == node and has_sub_below[neighbor]:
+                    for child in children[node]:
+                        if has_sub_below[child]:
                             below = True
                             break
                 has_sub_below[node] = below
             # Pre-order pass: does the rest of the component (through the
             # parent edge) contain a subscriber?
-            has_sub_above: Dict[int, bool] = {start: False}
+            has_sub_above: Dict[int, bool] = {component_order[0]: False}
             for node in component_order:
-                children = [
-                    neighbor
-                    for neighbor in adjacency[node]
-                    if parents.get(neighbor) == node
-                ]
+                node_children = children[node]
                 sub_here = node in subscribers
                 above = has_sub_above[node]
                 children_with_sub = sum(
-                    1 for child in children if has_sub_below[child]
+                    1 for child in node_children if has_sub_below[child]
                 )
-                for child in children:
+                for child in node_children:
                     others = children_with_sub - (1 if has_sub_below[child] else 0)
                     has_sub_above[child] = above or sub_here or others > 0
             # Install directions.
             for node in component_order:
-                table = self.dispatchers[node].table
-                parent = parents.get(node)
+                table = dispatchers[node].table
+                parent = parents[node]
                 if parent is not None and has_sub_above[node]:
                     table.add(pattern, parent)
-                for neighbor in adjacency[node]:
-                    if parents.get(neighbor) == node and has_sub_below[neighbor]:
-                        table.add(pattern, neighbor)
+                for child in children[node]:
+                    if has_sub_below[child]:
+                        table.add(pattern, child)
 
     def repair_routes_via_protocol(self) -> None:
         """Rebuild routes with *real* subscription messages.

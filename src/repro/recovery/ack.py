@@ -24,12 +24,12 @@ epidemic algorithms' "constant, equally distributed load".
 
 from __future__ import annotations
 
-import random
 from typing import Any, Callable, Dict, Optional, Set
 
 from repro.pubsub.dispatcher import Dispatcher
 from repro.pubsub.event import Event, EventId
 from repro.recovery.base import RecoveryAlgorithm, RecoveryConfig
+from repro.sim.rng import RandomSource
 
 __all__ = ["AckRecovery", "AckMessage"]
 
@@ -74,7 +74,7 @@ class AckRecovery(RecoveryAlgorithm):
     def __init__(
         self,
         dispatcher: Dispatcher,
-        rng: random.Random,
+        rng: RandomSource,
         config: RecoveryConfig,
     ) -> None:
         super().__init__(dispatcher, rng, config)

@@ -12,7 +12,6 @@ leaves :meth:`gossip_round` / :meth:`handle_gossip` to subclasses.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
 
@@ -20,6 +19,7 @@ from repro.pubsub.dispatcher import Dispatcher
 from repro.pubsub.event import EventId
 from repro.recovery.degrade import DegradationConfig, PeerTracker
 from repro.sim.timers import PeriodicTimer
+from repro.sim.rng import RandomSource
 
 __all__ = ["RecoveryConfig", "GossipStats", "RecoveryAlgorithm"]
 
@@ -128,7 +128,7 @@ class RecoveryAlgorithm:
     def __init__(
         self,
         dispatcher: Dispatcher,
-        rng: random.Random,
+        rng: RandomSource,
         config: RecoveryConfig,
     ) -> None:
         self.dispatcher = dispatcher

@@ -31,11 +31,11 @@ its record immediately.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict
 
 from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
 
 __all__ = ["DegradationConfig", "PeerTracker"]
 
@@ -113,7 +113,7 @@ class PeerTracker:
     def __init__(
         self,
         sim: Simulator,
-        rng: random.Random,
+        rng: RandomSource,
         config: DegradationConfig,
         gossip_interval: float,
     ) -> None:

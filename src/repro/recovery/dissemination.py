@@ -26,12 +26,12 @@ order of magnitude more bytes than content-based routing plus epidemic
 
 from __future__ import annotations
 
-import random
 from typing import Any, List, Tuple
 
 from repro.pubsub.dispatcher import Dispatcher
 from repro.pubsub.event import Event, EventId
 from repro.recovery.base import RecoveryAlgorithm, RecoveryConfig
+from repro.sim.rng import RandomSource
 
 __all__ = ["GossipDisseminationRecovery", "DisseminationGossip"]
 
@@ -74,7 +74,7 @@ class GossipDisseminationRecovery(RecoveryAlgorithm):
     def __init__(
         self,
         dispatcher: Dispatcher,
-        rng: random.Random,
+        rng: RandomSource,
         config: RecoveryConfig,
     ) -> None:
         super().__init__(dispatcher, rng, config)

@@ -24,6 +24,16 @@ __all__ = ["LostEntry", "LossDetector"]
 
 LostKey = Tuple[int, int, int]  # (source, pattern, pattern_seq)
 
+# Interned integer keys: the tracking dicts key on packed ints instead of
+# tuples, so the per-arrival hot path hashes one machine int rather than
+# allocating and hashing a tuple.  Streams pack as (source << 20) | pattern
+# and lost entries additionally shift the per-pattern sequence number in;
+# the bounds (pattern < 2^20, seq < 2^32) hold for any simulated workload
+# by orders of magnitude (Π is in the hundreds, sequence numbers are
+# publishes per (source, pattern) within one run).
+_PATTERN_BITS = 20
+_SEQ_BITS = 32
+
 
 class LostEntry:
     """One detected loss, with its detection time (for ageing policies)."""
@@ -44,13 +54,20 @@ class LostEntry:
 
 
 class _StreamState:
-    """Per-(source, pattern) tracking state."""
+    """Per-(source, pattern) tracking state.
+
+    ``missing`` is lazily allocated (and freed again when it empties):
+    streams with no pending gap are by far the common case -- at scale
+    every received event creates a stream, so an eagerly-allocated empty
+    set (216 B) per stream would dominate the loss detector's footprint
+    (measured ~117 MB of empty sets in a 30k-node probe).
+    """
 
     __slots__ = ("max_seen", "missing")
 
     def __init__(self) -> None:
         self.max_seen = 0
-        self.missing: Set[int] = set()
+        self.missing: Optional[Set[int]] = None
 
 
 class LossDetector:
@@ -79,8 +96,8 @@ class LossDetector:
             raise ValueError(f"Lost capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.give_up_age = give_up_age
-        self._streams: Dict[Tuple[int, int], _StreamState] = {}
-        self._lost: "OrderedDict[LostKey, LostEntry]" = OrderedDict()
+        self._streams: Dict[int, _StreamState] = {}
+        self._lost: "OrderedDict[int, LostEntry]" = OrderedDict()
         # Incremental per-pattern / per-source pending counts, so the gossip
         # rounds' ``patterns_with_losses`` / ``sources_with_losses`` queries
         # do not rescan the whole Lost buffer every round.
@@ -121,12 +138,13 @@ class LossDetector:
         """
         new_losses: List[LostEntry] = []
         source = event.event_id.source
+        source_key = source << _PATTERN_BITS
         streams = self._streams
         lost = self._lost
         for pattern, seq in event.pattern_seqs.items():
             if pattern not in local_patterns:
                 continue
-            stream_key = (source, pattern)
+            stream_key = source_key | pattern
             state = streams.get(stream_key)
             if state is None:
                 state = _StreamState()
@@ -140,19 +158,24 @@ class LossDetector:
             if seq == max_seen + 1:
                 # Fast path: the in-order arrival every reliable hop takes.
                 state.max_seen = seq
-            elif seq in missing:
+            elif missing is not None and seq in missing:
                 missing.discard(seq)
-                entry = lost.pop((source, pattern, seq), None)
+                if not missing:
+                    state.missing = None
+                entry = lost.pop(stream_key << _SEQ_BITS | seq, None)
                 if entry is not None:
                     self.recovered += 1
                     self._deindex(entry)
             elif seq > max_seen:
+                if missing is None:
+                    missing = state.missing = set()
                 pattern_counts = self._pattern_counts
                 source_counts = self._source_counts
+                lost_key_base = stream_key << _SEQ_BITS
                 for missing_seq in range(max_seen + 1, seq):
                     missing.add(missing_seq)
                     entry = LostEntry(source, pattern, missing_seq, now)
-                    lost[(source, pattern, missing_seq)] = entry
+                    lost[lost_key_base | missing_seq] = entry
                     new_losses.append(entry)
                     self.detected += 1
                     pattern_counts[pattern] = pattern_counts.get(pattern, 0) + 1
@@ -171,9 +194,11 @@ class LossDetector:
             self.abandoned += 1
 
     def _forget(self, entry: LostEntry) -> None:
-        state = self._streams.get((entry.source, entry.pattern))
-        if state is not None:
+        state = self._streams.get(entry.source << _PATTERN_BITS | entry.pattern)
+        if state is not None and state.missing is not None:
             state.missing.discard(entry.seq)
+            if not state.missing:
+                state.missing = None
         self._deindex(entry)
 
     def _deindex(self, entry: LostEntry) -> None:
@@ -203,7 +228,10 @@ class LossDetector:
             entry = next(iter(lost.values()))
             if entry.detected_at >= cutoff:
                 break
-            del lost[(entry.source, entry.pattern, entry.seq)]
+            del lost[
+                (entry.source << _PATTERN_BITS | entry.pattern) << _SEQ_BITS
+                | entry.seq
+            ]
             self._forget(entry)
             self.abandoned += 1
 
@@ -246,7 +274,9 @@ class LossDetector:
         return keys
 
     def is_pending(self, source: int, pattern: int, seq: int) -> bool:
-        return (source, pattern, seq) in self._lost
+        return (
+            (source << _PATTERN_BITS | pattern) << _SEQ_BITS | seq
+        ) in self._lost
 
     def __len__(self) -> int:
         return len(self._lost)

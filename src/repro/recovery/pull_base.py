@@ -13,7 +13,6 @@ forward either kind of digest.
 
 from __future__ import annotations
 
-import random
 from typing import Any, Optional, Tuple
 
 from repro.pubsub.dispatcher import Dispatcher
@@ -21,6 +20,7 @@ from repro.recovery.base import RecoveryAlgorithm, RecoveryConfig
 from repro.recovery.digest import PublisherPullGossip, SubscriberPullGossip
 from repro.recovery.loss_detector import LossDetector
 from repro.recovery.routes import RoutesBuffer
+from repro.sim.rng import RandomSource
 
 __all__ = ["PullRecoveryBase"]
 
@@ -35,7 +35,7 @@ class PullRecoveryBase(RecoveryAlgorithm):
     def __init__(
         self,
         dispatcher: Dispatcher,
-        rng: random.Random,
+        rng: RandomSource,
         config: RecoveryConfig,
     ) -> None:
         super().__init__(dispatcher, rng, config)

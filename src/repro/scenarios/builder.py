@@ -35,7 +35,7 @@ from repro.sim.rng import RandomStreams
 from repro.topology.generator import build_tree
 from repro.topology.reconfiguration import ReconfigurationEngine
 from repro.topology.tree import Tree
-from repro.workload.publishers import PublisherProcess
+from repro.workload.publishers import AggregatePublisherPool, PublisherProcess
 from repro.workload.subscriptions import assign_subscriptions
 
 __all__ = ["Simulation"]
@@ -59,6 +59,9 @@ class Simulation:
             config.n_dispatchers,
             self.streams.stream("topology"),
             config.max_degree,
+            graph_attach=config.graph_attach,
+            graph_neighbors=config.graph_neighbors,
+            graph_rewire=config.graph_rewire,
         )
         if self.tree.node_count != config.n_dispatchers:
             raise ValueError(
@@ -68,7 +71,12 @@ class Simulation:
 
         # --- metrics ----------------------------------------------------
         self.counters = MessageCounters(config.n_dispatchers)
-        self.tracker = DeliveryTracker()
+        # The compact (bitmap) tracker records ride with the columnar
+        # cache layout: same scale threshold, same representation-only
+        # contract.
+        self.tracker = DeliveryTracker(
+            compact=config.effective_cache_layout == "compact"
+        )
 
         # --- network + dispatchers ---------------------------------------
         # Burst-loss models (when configured) replace the Bernoulli draws;
@@ -109,6 +117,7 @@ class Simulation:
                 if config.cache_policy == "random"
                 else None
             ),
+            cache_layout=config.effective_cache_layout,
         )
 
         # --- subscriptions (stable regime: laid down via the oracle) -----
@@ -123,11 +132,18 @@ class Simulation:
 
         # --- recovery -----------------------------------------------------
         recovery_config = config.recovery_config()
+        # Per-node gossip streams: Mersenne Twister at paper scale (frozen
+        # draw sequences), 2-word splitmix64 state for the large sweeps.
+        gossip_stream = (
+            self.streams.compact_stream
+            if config.effective_gossip_rng == "compact"
+            else self.streams.stream
+        )
         self.recoveries: List[RecoveryAlgorithm] = [
             create_recovery(
                 config.algorithm,
                 dispatcher,
-                self.streams.stream(f"gossip[{dispatcher.node_id}]"),
+                gossip_stream(f"gossip[{dispatcher.node_id}]"),
                 recovery_config,
             )
             for dispatcher in self.system.dispatchers
@@ -141,17 +157,28 @@ class Simulation:
         # --- workload -----------------------------------------------------
         for dispatcher in self.system.dispatchers:
             dispatcher.on_publish = self._on_publish
-        self.publishers = [
-            PublisherProcess(
-                self.system,
-                node_id,
-                config.publish_rate,
-                self.streams.stream(f"workload[{node_id}]"),
-                model=config.publish_model,
-                max_event_patterns=config.max_event_patterns,
-            )
-            for node_id in range(config.n_dispatchers)
-        ]
+        if config.workload_model == "aggregate":
+            # One pooled process, one stream: O(1) workload state for any N.
+            self.publishers = [
+                AggregatePublisherPool(
+                    self.system,
+                    config.publish_rate,
+                    self.streams.stream("workload"),
+                    max_event_patterns=config.max_event_patterns,
+                )
+            ]
+        else:
+            self.publishers = [
+                PublisherProcess(
+                    self.system,
+                    node_id,
+                    config.publish_rate,
+                    self.streams.stream(f"workload[{node_id}]"),
+                    model=config.publish_model,
+                    max_event_patterns=config.max_event_patterns,
+                )
+                for node_id in range(config.n_dispatchers)
+            ]
 
         # --- reconfiguration ----------------------------------------------
         self.reconfiguration: Optional[ReconfigurationEngine] = None
@@ -285,7 +312,15 @@ class Simulation:
             losses_abandoned=losses_abandoned,
             receivers_per_event=receivers_per_event,
             tree_diameter=self.tree.diameter(),
-            tree_average_path_length=self.tree.average_path_length(),
+            # Exact mean path length is O(N²); past a couple thousand
+            # nodes the strided-BFS estimate stands in.  The threshold is
+            # far above every paper-scale run, so frozen baselines keep
+            # the exact value bit for bit.
+            tree_average_path_length=(
+                self.tree.average_path_length()
+                if config.n_dispatchers <= 2000
+                else self.tree.approx_average_path_length()
+            ),
             reconfigurations=(
                 self.reconfiguration.stats.breaks if self.reconfiguration else 0
             ),

@@ -49,8 +49,18 @@ class SimulationConfig:
     max_degree: int = 4
     #: Overlay shape: "bushy" (breadth-filled random tree; default, matches
     #: the paper's baseline delivery), "uniform" (random recursive tree
-    #: under the cap), "path", "star", or "balanced".
+    #: under the cap), "path", "star", "balanced", or one of the large-scale
+    #: graph overlays from :mod:`repro.topology.graphs` -- "scale-free"
+    #: (Barabási–Albert preferential attachment) and "small-world"
+    #: (Watts–Strogatz ring rewiring), both reduced to a BFS spanning tree
+    #: for the dispatching structure.
     tree_style: str = "bushy"
+    #: Scale-free overlays: edges per new node (Barabási–Albert ``m``).
+    graph_attach: int = 2
+    #: Small-world overlays: ring neighbors per node (Watts–Strogatz ``k``,
+    #: must be even) and rewiring probability ``p``.
+    graph_neighbors: int = 4
+    graph_rewire: float = 0.1
     #: Draw exactly πmax patterns per dispatcher (matches the paper's
     #: Nπ = N·πmax/Π formula); ``False`` draws uniformly in [1, πmax].
     subscriptions_exact: bool = True
@@ -60,6 +70,12 @@ class SimulationConfig:
     publish_rate: float = 50.0
     #: "poisson" (exponential gaps) or "periodic".
     publish_model: str = "poisson"
+    #: Workload generator layout: "per-node" (one PublisherProcess and RNG
+    #: stream per dispatcher -- the default, preserved for byte-identity
+    #: with earlier baselines) or "aggregate" (one pooled Poisson process
+    #: at rate N·r drawing publisher ids from a single stream; O(1) state
+    #: regardless of N, required for the 10⁵-node runs).
+    workload_model: str = "per-node"
     #: At most this many patterns per event (paper footnote 5: 3).
     max_event_patterns: int = 3
 
@@ -94,6 +110,19 @@ class SimulationConfig:
     #: Cache eviction policy: "fifo" (the paper's), "lru", or "random"
     #: (the buffer-optimization ablation; see repro.pubsub.cache).
     cache_policy: str = "fifo"
+    #: Event-buffer layout: "classic" (dict-indexed, supports every
+    #: policy), "compact" (columnar ring, FIFO only; see
+    #: repro.pubsub.compact), or "auto" -- compact iff the policy is FIFO
+    #: and N >= 1000, classic (byte-identical to earlier baselines) below.
+    cache_layout: str = "auto"
+    #: Generator backing the per-node gossip streams: "mt" (one
+    #: ``random.Random`` per dispatcher -- 2.5 KB of Mersenne Twister
+    #: state each, byte-identical to earlier baselines), "compact" (a
+    #: 2-word splitmix64 generator, ~50 B/node; see
+    #: repro.sim.rng.CompactRandom), or "auto" -- compact at N >= 1000,
+    #: mt below (same threshold as ``cache_layout``: every paper-scale
+    #: run keeps its frozen draw sequences).
+    gossip_rng: str = "auto"
     #: T, the gossip interval.
     gossip_interval: float = 0.03
     #: Per-neighbor gossip forwarding probability.
@@ -150,6 +179,34 @@ class SimulationConfig:
             raise ValueError("buffer_size must be >= 0")
         if self.cache_policy not in ("fifo", "lru", "random"):
             raise ValueError(f"unknown cache_policy {self.cache_policy!r}")
+        if self.cache_layout not in ("auto", "classic", "compact"):
+            raise ValueError(f"unknown cache_layout {self.cache_layout!r}")
+        if self.cache_layout == "compact" and self.cache_policy != "fifo":
+            raise ValueError(
+                "the compact cache layout is FIFO-only; use cache_layout="
+                f"'classic' for cache_policy={self.cache_policy!r}"
+            )
+        if self.gossip_rng not in ("auto", "mt", "compact"):
+            raise ValueError(f"unknown gossip_rng {self.gossip_rng!r}")
+        if self.workload_model not in ("per-node", "aggregate"):
+            raise ValueError(f"unknown workload_model {self.workload_model!r}")
+        if self.workload_model == "aggregate":
+            if self.publish_model != "poisson":
+                raise ValueError(
+                    "the aggregate workload pools Poisson processes only; "
+                    f"publish_model={self.publish_model!r} needs per-node"
+                )
+            if self.faults is not None:
+                raise ValueError(
+                    "fault injection stops/restarts per-node publishers; "
+                    "use workload_model='per-node' with a fault plan"
+                )
+        if self.graph_attach < 1:
+            raise ValueError("graph_attach must be >= 1")
+        if self.graph_neighbors < 2 or self.graph_neighbors % 2:
+            raise ValueError("graph_neighbors must be even and >= 2")
+        if not 0.0 <= self.graph_rewire <= 1.0:
+            raise ValueError("graph_rewire must be in [0, 1]")
         if self.route_repair not in ("oracle", "protocol"):
             raise ValueError(f"unknown route_repair {self.route_repair!r}")
         if self.gossip_interval <= 0:
@@ -177,6 +234,33 @@ class SimulationConfig:
         if self.measure_end is not None:
             return self.measure_end
         return max(self.measure_start + 1e-9, self.sim_time - 1.5)
+
+    @property
+    def effective_cache_layout(self) -> str:
+        """Resolve the "auto" layout: compact for large FIFO runs.
+
+        The 1000-node threshold keeps every paper-scale run on the classic
+        layout (byte-identical to the frozen baselines) while the scale
+        sweeps get the columnar buffer for free.
+        """
+        if self.cache_layout != "auto":
+            return self.cache_layout
+        if self.cache_policy == "fifo" and self.n_dispatchers >= 1000:
+            return "compact"
+        return "classic"
+
+    @property
+    def effective_gossip_rng(self) -> str:
+        """Resolve the "auto" gossip generator: compact for large runs.
+
+        Mirrors :attr:`effective_cache_layout`'s 1000-node threshold --
+        paper-scale runs keep the Mersenne Twister streams (and hence
+        their frozen draw sequences); the scale sweeps trade them for
+        50-byte splitmix64 state per node.
+        """
+        if self.gossip_rng != "auto":
+            return self.gossip_rng
+        return "compact" if self.n_dispatchers >= 1000 else "mt"
 
     @property
     def subscribers_per_pattern(self) -> float:

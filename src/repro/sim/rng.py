@@ -24,9 +24,72 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Protocol
 
-__all__ = ["RandomStreams"]
+__all__ = ["CompactRandom", "RandomSource", "RandomStreams"]
+
+_MASK64 = (1 << 64) - 1
+
+
+class RandomSource(Protocol):
+    """The draw interface node-local consumers actually use.
+
+    Both ``random.Random`` and :class:`CompactRandom` satisfy it, so code
+    that only flips coins and picks peers can accept either without caring
+    which generator backs the stream.
+    """
+
+    def random(self) -> float: ...
+
+    def randrange(self, n: int) -> int: ...
+
+
+class CompactRandom:
+    """A 2-word deterministic PRNG (splitmix64) for per-node streams.
+
+    ``random.Random`` carries the full 2.5 KB Mersenne Twister state; with
+    one gossip stream per dispatcher that is ~250 MB at 10^5 nodes --
+    second-largest per-node structure in the scale probes.  Gossip peer
+    selection needs only ``random()`` and ``randrange()`` draws of decent
+    uniformity, which splitmix64 (a 64-bit state, well-tested mixer) gives
+    at ~50 bytes per instance.
+
+    Deterministic: the same seed always yields the same draw sequence.
+    Not a drop-in ``random.Random``: only the :class:`RandomSource` subset
+    is provided, on purpose -- consumers needing richer draws should take
+    a real ``Random`` stream.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK64
+
+    def _next(self) -> int:
+        self._state = state = (self._state + 0x9E3779B97F4A7C15) & _MASK64
+        z = (state ^ (state >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK64
+        return z ^ (z >> 31)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1) with the standard 53-bit resolution."""
+        return (self._next() >> 11) * (2.0 ** -53)
+
+    def randrange(self, n: int) -> int:
+        """Uniform int in [0, n) (Lemire multiply-shift; the ~n/2^64
+        selection bias is far below anything a simulation could resolve)."""
+        if n <= 0:
+            raise ValueError(f"empty range for randrange({n})")
+        return (self._next() * n) >> 64
+
+    def getstate(self) -> int:
+        return self._state
+
+    def setstate(self, state: int) -> None:
+        self._state = state & _MASK64
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CompactRandom state={self._state:#x}>"
 
 
 class RandomStreams:
@@ -62,6 +125,16 @@ class RandomStreams:
         does not depend on global event interleaving.
         """
         return [self.stream(f"{name}[{i}]") for i in range(count)]
+
+    def compact_stream(self, name: str) -> CompactRandom:
+        """A :class:`CompactRandom` seeded exactly like ``stream(name)``.
+
+        Unlike :meth:`stream` the result is *not* cached -- per-node
+        streams at 10^5 nodes would otherwise leave a 10^5-entry name
+        index behind -- so each call returns a fresh generator at the
+        same initial state.  Callers own the instance they get.
+        """
+        return CompactRandom(self._derive_seed(name))
 
     def _derive_seed(self, name: str) -> int:
         digest = hashlib.sha256(f"{self.master_seed}:{name}".encode()).digest()

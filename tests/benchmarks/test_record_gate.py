@@ -79,6 +79,76 @@ class TestCompareRecords:
         assert record._gate_self_test() == 0
 
 
+class TestMemoryGate:
+    """Peak-RSS regressions gate exactly like time regressions."""
+
+    def _benches_rss(self, **rss_kb):
+        return {
+            name: {"seconds": 1.0, "max_rss_kb": value}
+            for name, value in rss_kb.items()
+        }
+
+    def test_rss_regression_beyond_threshold_is_flagged(self):
+        base = self._benches_rss(large_topology=1_000_000, engine_loop=50_000)
+        grown = self._benches_rss(large_topology=1_150_000, engine_loop=50_000)
+        comparison = record.compare_records(base, grown, 0.05)
+        assert comparison["regressions"] == ["large_topology (rss)"]
+        (row,) = [
+            r for r in comparison["rows"] if r["name"] == "large_topology"
+        ]
+        assert row["mem_regressed"] is True
+        assert row["mem_delta"] == pytest.approx(0.15, abs=1e-4)
+        assert row["regressed"] is False  # time itself did not move
+
+    def test_rss_wobble_within_threshold_passes(self):
+        base = self._benches_rss(large_topology=1_000_000)
+        wobble = self._benches_rss(large_topology=1_080_000)
+        assert record.compare_records(base, wobble, 0.05)["regressions"] == []
+
+    def test_rss_shrink_is_not_a_regression(self):
+        base = self._benches_rss(figure_scenario=200_000)
+        slim = self._benches_rss(figure_scenario=120_000)
+        comparison = record.compare_records(base, slim, 0.05)
+        assert comparison["regressions"] == []
+        assert comparison["rows"][0]["mem_delta"] < 0
+
+    def test_rss_on_one_side_only_is_skipped(self):
+        base = _benches(engine_loop=1.0)  # no max_rss_kb
+        cur = self._benches_rss(engine_loop=100_000)
+        (row,) = record.compare_records(base, cur, 0.05)["rows"]
+        assert "mem_delta" not in row
+        assert record.compare_records(base, cur, 0.05)["regressions"] == []
+
+    def test_non_gating_bench_rss_never_gates(self):
+        base = self._benches_rss(sweep_scaling=100_000)
+        grown = self._benches_rss(sweep_scaling=900_000)
+        assert record.compare_records(base, grown, 0.05)["regressions"] == []
+
+    def test_custom_mem_threshold(self):
+        base = self._benches_rss(engine_loop=100_000)
+        grown = self._benches_rss(engine_loop=106_000)
+        assert (
+            record.compare_records(base, grown, 0.05, mem_threshold=0.05)[
+                "regressions"
+            ]
+            == ["engine_loop (rss)"]
+        )
+        assert (
+            record.compare_records(base, grown, 0.05, mem_threshold=0.10)[
+                "regressions"
+            ]
+            == []
+        )
+
+    def test_delta_table_shows_rss_column(self):
+        base = self._benches_rss(large_topology=1_000_000)
+        grown = self._benches_rss(large_topology=1_200_000)
+        comparison = record.compare_records(base, grown, 0.05)
+        table = record.format_delta_table(comparison, 0.05)
+        assert "RSS REGRESSION" in table
+        assert "[rss +20.0%]" in table
+
+
 class TestBaselineMerge:
     """End-to-end ``main()`` runs in quick mode over temp files."""
 

@@ -1,12 +1,13 @@
 """Fixture-driven tests of the REP200–REP205 architecture rules.
 
-``tests/lint/fixtures/arch/`` is a ten-module miniature of the real
+``tests/lint/fixtures/arch/`` is an eleven-module miniature of the real
 stack — ``eng`` (engine) < ``net`` (transport) < ``proto_*`` (confined
 protocol layer) < ``app`` (wiring) — small enough to hand-check yet deep
 enough to exercise every rule: an upward import, an un-touchpointed
 engine access, shared mutable state on a per-node class, a slotless
-per-node class, off-contract RNG stream names, and set iteration order
-escaping into the transport.  The layer map lives here (not in a
+per-node class, a slotted per-node class keyed by hot strings,
+off-contract RNG stream names, and set iteration order escaping into
+the transport.  The layer map lives here (not in a
 pyproject) so each expectation names the exact config that produced it.
 
 Alongside the per-rule expectations this module carries the tree-wide
@@ -42,6 +43,7 @@ PROTO_MODULES = (
     "proto_engine",
     "proto_state",
     "proto_slotless",
+    "proto_strkeys",
     "proto_streams",
     "proto_emission",
 )
@@ -51,6 +53,7 @@ EXPECTED = {
     "proto_engine.py": ["REP201"],
     "proto_state.py": ["REP202", "REP202"],
     "proto_slotless.py": ["REP203"],
+    "proto_strkeys.py": ["REP203"],
     "proto_streams.py": ["REP204", "REP204"],
     "proto_emission.py": ["REP205", "REP205"],
 }
@@ -145,7 +148,7 @@ def test_arch_report_json_is_structured():
         "proto",
         "app",
     ]
-    assert payload["files_analyzed"] == 10
+    assert payload["files_analyzed"] == 11
     violations = payload["imports"]["violations"]
     assert len(violations) == 1 and violations[0]["source"] == (
         "proto_layering"
@@ -189,7 +192,7 @@ def test_cli_arch_report_round_trips_toml_config(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert exit_code == 0
     assert payload["layers"]["order"][-1] == "app"
-    assert payload["files_analyzed"] == 10
+    assert payload["files_analyzed"] == 11
     assert len(payload["imports"]["violations"]) == 1
 
 

@@ -1,0 +1,22 @@
+"""Arch fixture, *proto* layer (REP203): per-node dict with string keys.
+
+Slotted, so the classic REP203 check stays quiet -- the finding here is
+the string-literal hot keys: every ``stats["gossip"]`` touch hashes a
+string per node per event, where an interned integer key space would
+compare one word and pack into flat columns.
+"""
+
+
+class Tally:
+    __slots__ = ("node_id", "stats")
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        # BAD: per-node dict accessed with string-literal keys below.
+        self.stats = {"gossip": 0, "events": 0}
+
+    def on_gossip(self):
+        self.stats["gossip"] += 1
+
+    def on_event(self):
+        self.stats["events"] = self.stats.get("events", 0) + 1

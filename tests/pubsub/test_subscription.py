@@ -113,3 +113,58 @@ class TestForwardingMarks:
         table.add(5, 1)
         table.add(5, LOCAL)
         assert list(table) == [(5, [LOCAL, 1]), (7, [2])]
+
+
+class TestDenseSparseOverflow:
+    """A dense table outgrowing its 64 direction bits migrates itself to
+    the sparse layout (scale-free hubs concentrate degree) instead of
+    overflowing; every query answers identically across the switch."""
+
+    def _hub_table(self, directions: int) -> SubscriptionTable:
+        table = SubscriptionTable(n_patterns=8)
+        for direction in range(directions):
+            table.add(direction % 8, direction)
+        return table
+
+    def test_overflow_switches_layout_and_preserves_state(self):
+        table = self._hub_table(directions=64)
+        assert table._dense
+        before = {p: table.directions(p) for p in table.patterns()}
+        table.add(0, 64)  # 65th distinct live direction
+        assert not table._dense
+        for pattern, directions in before.items():
+            expected = sorted(directions + [64]) if pattern == 0 else directions
+            assert table.directions(pattern) == expected
+
+    def test_sparse_table_keeps_growing_past_64(self):
+        table = self._hub_table(directions=200)
+        assert not table._dense
+        assert table.directions(0) == list(range(0, 200, 8))
+        assert len(table) == 8
+
+    def test_forwarded_marks_survive_migration(self):
+        table = self._hub_table(directions=64)
+        table.mark_forwarded(3, 1)
+        table.add(0, 64)
+        assert table.was_forwarded(3, 1)
+        assert table.mark_forwarded(3, 1) is False  # still marked
+
+    def test_matching_identical_across_migration(self):
+        dense = self._hub_table(directions=64)
+        sparse = self._hub_table(directions=64)
+        sparse.add(0, 64)
+        sparse.remove(0, 64)
+        for patterns in [(0,), (1, 2), (5, 6, 7), ()]:
+            assert dense.matching_directions_sorted(
+                patterns
+            ) == sparse.matching_directions_sorted(patterns)
+
+    def test_compaction_preferred_over_migration(self):
+        # Retired directions free bits: after dropping neighbors, a new
+        # direction must reuse a compacted bit and stay dense.
+        table = self._hub_table(directions=64)
+        table.drop_direction(0)
+        table.remove(1 % 8, 1)
+        table.drop_direction(1)
+        table.add(0, 64)
+        assert table._dense

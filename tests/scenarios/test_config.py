@@ -70,6 +70,16 @@ class TestValidation:
         explicit = SimulationConfig(sim_time=10.0, measure_end=6.0)
         assert explicit.effective_measure_end == 6.0
 
+    def test_gossip_rng_validated_and_auto_resolved(self):
+        with pytest.raises(ValueError, match="gossip_rng"):
+            SimulationConfig(gossip_rng="xorshift")
+        small = SimulationConfig(n_dispatchers=100)
+        assert small.effective_gossip_rng == "mt"
+        large = small.replace(n_dispatchers=5000)
+        assert large.effective_gossip_rng == "compact"
+        forced = large.replace(gossip_rng="mt")
+        assert forced.effective_gossip_rng == "mt"
+
 
 class TestDerivedQuantities:
     def test_match_probability_bounds(self):

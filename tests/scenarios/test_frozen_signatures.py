@@ -1,0 +1,102 @@
+"""Frozen-digest regression grid: the PR 7 byte-identity proof.
+
+The compact-state substrate (mask-based subscription tables, packed
+loss-detector keys, interned event contents, columnar caches/metrics) must
+not change *any* simulated behaviour at existing scales.  The digests in
+``pr7_baseline_signatures.json`` were recorded at the PR 6 baseline commit
+over a grid covering every recovery family, both non-FIFO cache policies,
+reconfiguration, and a non-default tree style; this test re-runs the grid
+and compares.
+
+The digest hashes ``result.signature()[1:]`` -- everything *after* the
+config object -- so adding new ``SimulationConfig`` fields cannot
+invalidate the baselines, but any change to RNG draw order, routing,
+recovery behaviour, or metrics at these scales will.
+
+If a cell diverges, the fix is to find the behavioural change, not to
+re-record: re-recording is only legitimate for a deliberate,
+documented semantics change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.runner import run_scenario
+
+BASELINES = json.loads(
+    (Path(__file__).parent / "pr7_baseline_signatures.json").read_text()
+)
+
+COMMON = dict(
+    n_dispatchers=24,
+    n_patterns=24,
+    pi_max=2,
+    publish_rate=30.0,
+    sim_time=3.0,
+    measure_start=0.5,
+    measure_end=2.5,
+)
+
+CELLS = {
+    "combined-pull-lossy": dict(
+        algorithm="combined-pull", error_rate=0.1, seed=42, buffer_size=400
+    ),
+    "publisher-pull-lossy": dict(
+        algorithm="publisher-pull", error_rate=0.1, seed=5, buffer_size=400
+    ),
+    "subscriber-pull-lossy": dict(
+        algorithm="subscriber-pull", error_rate=0.1, seed=6, buffer_size=400
+    ),
+    "push-lossy": dict(algorithm="push", error_rate=0.05, seed=7, buffer_size=400),
+    "combined-pull-lru": dict(
+        algorithm="combined-pull",
+        error_rate=0.1,
+        seed=8,
+        cache_policy="lru",
+        buffer_size=60,
+    ),
+    "combined-pull-random": dict(
+        algorithm="combined-pull",
+        error_rate=0.1,
+        seed=9,
+        cache_policy="random",
+        buffer_size=60,
+    ),
+    "combined-pull-reconf": dict(
+        algorithm="combined-pull",
+        error_rate=0.05,
+        seed=10,
+        reconfiguration_interval=0.2,
+        buffer_size=400,
+    ),
+    "push-uniform-tree": dict(
+        algorithm="push",
+        error_rate=0.1,
+        seed=12,
+        tree_style="uniform",
+        buffer_size=400,
+    ),
+}
+
+
+def _digest(result) -> str:
+    return hashlib.sha256(repr(result.signature()[1:]).encode()).hexdigest()
+
+
+def test_grid_covers_all_baselines():
+    assert set(CELLS) == set(BASELINES)
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_signature_matches_pr6_baseline(cell):
+    result = run_scenario(SimulationConfig(**COMMON, **CELLS[cell]))
+    assert _digest(result) == BASELINES[cell], (
+        f"cell {cell!r} diverged from the frozen PR 6 baseline: some change "
+        "altered simulated behaviour at existing scale"
+    )

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import CompactRandom, RandomStreams
 
 
 class TestRandomStreams:
@@ -56,3 +57,52 @@ class TestRandomStreams:
         first = RandomStreams(seed).stream(name).getrandbits(64)
         second = RandomStreams(seed).stream(name).getrandbits(64)
         assert first == second
+
+
+class TestCompactRandom:
+    def test_deterministic(self):
+        a = CompactRandom(1234)
+        b = CompactRandom(1234)
+        assert [a.random() for _ in range(50)] == [b.random() for _ in range(50)]
+
+    def test_random_in_unit_interval(self):
+        rng = CompactRandom(9)
+        for _ in range(10_000):
+            value = rng.random()
+            assert 0.0 <= value < 1.0
+
+    def test_randrange_covers_range_roughly_uniformly(self):
+        rng = CompactRandom(5)
+        counts = [0] * 7
+        for _ in range(70_000):
+            counts[rng.randrange(7)] += 1
+        assert min(counts) > 9_000  # expectation 10_000 each
+
+    def test_randrange_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            CompactRandom(0).randrange(0)
+
+    def test_state_roundtrip(self):
+        rng = CompactRandom(31337)
+        rng.random()
+        state = rng.getstate()
+        first = [rng.random() for _ in range(10)]
+        rng.setstate(state)
+        assert [rng.random() for _ in range(10)] == first
+
+    def test_compact_stream_seeded_like_stream(self):
+        streams = RandomStreams(42)
+        a = streams.compact_stream("gossip[3]")
+        b = RandomStreams(42).compact_stream("gossip[3]")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+        # Not cached: a fresh generator (same initial state) per call.
+        c = streams.compact_stream("gossip[3]")
+        assert c is not a
+        assert "gossip[3]" not in list(streams.names())
+
+    def test_distinct_names_give_distinct_draws(self):
+        streams = RandomStreams(7)
+        draws = {
+            streams.compact_stream(f"gossip[{i}]").random() for i in range(100)
+        }
+        assert len(draws) == 100

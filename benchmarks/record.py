@@ -10,7 +10,10 @@ of the numbers that matter across PRs:
   timed end to end;
 * the parallel-executor scaling of a four-algorithm sweep (skipped
   gracefully when :mod:`repro.parallel` is not importable, so the script
-  can also record trees that predate the executor).
+  can also record trees that predate the executor);
+* the full-tree whole-program lint pass (REP1xx+2xx+3xx plus the
+  ownership report) — the analyzer runs on every push, so its wall time
+  and peak RSS are gated like any other hot path.
 
 Usage::
 
@@ -410,6 +413,38 @@ def _sweep_config(quick: bool) -> SimulationConfig:
     )
 
 
+def bench_lint_analysis(quick: bool) -> Optional[Dict[str, object]]:
+    """Full-tree whole-program analysis: REP1xx + REP2xx + REP3xx.
+
+    The analyzer is part of every push (CI's ``static`` job and the
+    tree-clean test gates), so its wall time is a developer-facing hot
+    path in its own right — gating it here keeps the ownership/effect
+    fixpoints from quietly going quadratic as the tree grows.
+    """
+    try:
+        from repro.lint import lint_paths
+        from repro.lint.cli import ownership_report_paths
+        from repro.lint.config import load_config
+    except ImportError:  # pragma: no cover - pre-analyzer trees
+        return None
+
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    paths = [REPO_ROOT / "src", REPO_ROOT / "benchmarks",
+             REPO_ROOT / "examples"]
+
+    def run() -> int:
+        result = lint_paths(paths, config, analysis=True)
+        report = ownership_report_paths(paths, config)
+        if result.errors:
+            raise RuntimeError(
+                "lint errors during bench: "
+                + "; ".join(e.render() for e in result.errors)
+            )
+        return report["files_analyzed"]
+
+    return _time(run, repeats=1 if quick else 3)
+
+
 def bench_sweep_scaling(quick: bool) -> Optional[Dict[str, object]]:
     try:
         from repro.scenarios.sweep import sweep_algorithms
@@ -477,6 +512,7 @@ BENCHES = {
     "figure_scenario": bench_figure_scenario,
     "faults_scenario": bench_faults_scenario,
     "large_topology": bench_large_topology,
+    "lint_analysis": bench_lint_analysis,
 }
 
 
@@ -536,6 +572,7 @@ CORE_BENCHES = (
     "cache_churn",
     "table_matching",
     "large_topology",
+    "lint_analysis",
 )
 
 #: Fractional peak-RSS growth tolerated on gating benches before the gate

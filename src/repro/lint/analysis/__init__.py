@@ -1,4 +1,4 @@
-"""Whole-program analysis: REP100–REP105 plus the REP200-series.
+"""Whole-program analysis: REP100–REP105, REP200-, and REP300-series.
 
 Layered below :mod:`repro.lint.cli`:
 
@@ -16,14 +16,31 @@ Layered below :mod:`repro.lint.cli`:
   rules (REP100–REP105).
 * :mod:`~repro.lint.analysis.arch_rules` — the six architecture rules
   (REP200–REP205) over the shared :class:`ArchContext`.
+* :mod:`~repro.lint.analysis.ownership` — the interprocedural
+  ownership/escape model: per-attr owners, param capture summaries,
+  shared-object detection (--ownership-report).
+* :mod:`~repro.lint.analysis.concurrency_rules` — the six
+  concurrency-safety rules (REP300–REP305) over the shared
+  :class:`ConcurrencyContext`.
 * :mod:`~repro.lint.analysis.engine` — orchestration + suppression/config
   filtering, producing ordinary :class:`~repro.lint.findings.Finding`\\ s,
-  and the ``--arch-report`` data builder.
+  and the ``--arch-report``/``--ownership-report`` data builders.
 """
 
 from .arch_rules import ARCH_RULES, ArchContext, arch_codes
-from .engine import ALL_ANALYSIS_RULES, build_arch_report, run_analysis
+from .concurrency_rules import (
+    CONCURRENCY_RULES,
+    ConcurrencyContext,
+    concurrency_codes,
+)
+from .engine import (
+    ALL_ANALYSIS_RULES,
+    build_arch_report,
+    build_ownership_report,
+    run_analysis,
+)
 from .model import Project, build_project
+from .ownership import OwnershipModel
 
 #: Every whole-program rule, both families — the public catalogue.
 ANALYSIS_RULES = ALL_ANALYSIS_RULES
@@ -41,12 +58,17 @@ def analysis_rules_by_code():
 __all__ = [
     "run_analysis",
     "build_arch_report",
+    "build_ownership_report",
     "Project",
     "build_project",
     "ArchContext",
+    "ConcurrencyContext",
+    "OwnershipModel",
     "ANALYSIS_RULES",
     "ARCH_RULES",
+    "CONCURRENCY_RULES",
     "analysis_codes",
     "arch_codes",
+    "concurrency_codes",
     "analysis_rules_by_code",
 ]

@@ -13,14 +13,20 @@ import/MRO machinery of :mod:`.model` can resolve:
 ``rng-stream:<name>``     requests a named ``RandomStreams`` stream
                           (``?`` when the name is not a literal)
 ``wall-clock``            reads host time (``time.time`` & friends)
+``blocking``              calls a host-blocking primitive (``time.sleep``,
+                          sync socket/file/subprocess I/O)
+``net-send``              emits a message (``.send``/``.send_oob``/
+                          ``.transmit``/``.send_gossip``)
 ``global-mut:<target>``   mutates a module-level mutable binding
 ========================  ==============================================
 
 Resolvable call edges are ``self.method()`` (through the MRO),
-``super().method()``, module-level functions, and class constructors
-(edge to ``__init__``).  Effects of nested ``def``/``lambda`` bodies are
-attributed to the enclosing function — a callback's effects belong to
-whoever builds it.
+``super().method()``, module-level functions, class constructors
+(edge to ``__init__``), ``functools.partial`` targets, instance-bound
+entry points (``self.send_gossip`` rebound in ``__init__`` to
+``self._send_gossip``), and ``@property`` reads.  Effects of nested
+``def``/``lambda`` bodies are attributed to the enclosing function — a
+callback's effects belong to whoever builds it.
 
 Propagation is a fixpoint union with one asymmetry: the three ``sim-*``
 effects do **not** propagate out of a declared *engine touchpoint* or out
@@ -37,7 +43,9 @@ reason about.
 from __future__ import annotations
 
 import ast
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union,
+)
 
 from ..config import LayersConfig
 from .dataflow import MUTATING_METHODS
@@ -56,6 +64,8 @@ __all__ = [
     "SIM_ENGINE",
     "RNG_DRAW",
     "WALL_CLOCK",
+    "BLOCKING",
+    "NET_SEND",
     "STREAM_PREFIX",
     "GLOBAL_MUT_PREFIX",
     "SIM_EFFECTS",
@@ -64,6 +74,7 @@ __all__ = [
     "FunctionEffects",
     "EffectMap",
     "infer_effects",
+    "resolve_call_target",
     "stream_name",
 ]
 
@@ -72,6 +83,8 @@ SIM_SCHEDULE = "sim-schedule"
 SIM_ENGINE = "sim-engine"
 RNG_DRAW = "rng-draw"
 WALL_CLOCK = "wall-clock"
+BLOCKING = "blocking"
+NET_SEND = "net-send"
 #: parameterized effects: ``rng-stream:<name>@<requesting module>`` and
 #: ``global-mut:<module>.<binding>``.
 STREAM_PREFIX = "rng-stream:"
@@ -104,6 +117,24 @@ _WALL_CLOCK_CALLS = frozenset(
         "datetime.datetime.now", "datetime.datetime.utcnow",
     }
 )
+#: Host-blocking primitives: sleeping, synchronous socket/file/process
+#: I/O, console input.  Resolved against the canonical dotted call name
+#: (``open`` is the bare builtin).  Anything here reachable from
+#: protocol-layer code stalls a cooperative (asyncio) backend — REP304.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep", "open", "input",
+        "socket.socket", "socket.create_connection", "socket.socketpair",
+        "subprocess.run", "subprocess.call", "subprocess.check_call",
+        "subprocess.check_output", "subprocess.Popen",
+        "os.system", "os.popen", "os.wait", "os.waitpid",
+        "urllib.request.urlopen", "http.client.HTTPConnection",
+        "requests.get", "requests.post", "requests.request",
+    }
+)
+#: Attribute calls that emit a message into the transport (the same
+#: boundary set REP101/REP205 use); seeds the ``net-send`` effect.
+_NET_SEND_ATTRS = frozenset({"send", "send_oob", "transmit", "send_gossip"})
 #: Constructors whose result is a mutable container (module-global scan).
 _MUTABLE_FACTORY_NAMES = frozenset(
     {
@@ -353,6 +384,112 @@ def _literal_stream_name(arg: ast.expr) -> Optional[str]:
     return None
 
 
+def resolve_call_target(
+    project: Project,
+    module: ModuleInfo,
+    cls: Optional[ClassInfo],
+    node: ast.Call,
+) -> Union[ClassInfo, FunctionInfo, None]:
+    """Resolve one call site to the project symbol it invokes.
+
+    Shared by the effect extractor and the ownership pass.  Handles
+    ``self.method()`` (through the MRO), ``super().method()``, dotted
+    module-level names, constructors, and ``functools.partial(target,
+    ...)`` (resolved to ``target`` — a callback's effects belong to
+    whoever builds it).
+    """
+    func = node.func
+    parts = dotted_parts(func)
+    if parts is not None:
+        canonical = module.resolve_parts(parts)
+        if canonical == "functools.partial" and node.args:
+            target = node.args[0]
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and cls is not None
+            ):
+                return cls.mro_method(target.attr)
+            target_parts = dotted_parts(target)
+            if target_parts is not None:
+                return project.resolve_name(module, target_parts)
+            return None
+    # self.method() through the MRO.
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+        and cls is not None
+    ):
+        return cls.mro_method(func.attr)
+    # super().method()
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Call)
+        and isinstance(func.value.func, ast.Name)
+        and func.value.func.id == "super"
+        and cls is not None
+    ):
+        for base in cls.bases:
+            method = base.mro_method(func.attr)
+            if method is not None:
+                return method
+        return None
+    if parts is None:
+        return None
+    return project.resolve_name(module, parts)
+
+
+def _is_property(method: FunctionInfo) -> bool:
+    """Decorated as a ``@property`` / ``@cached_property`` getter?"""
+    for decorator in getattr(method.node, "decorator_list", []):
+        parts = dotted_parts(decorator)
+        if parts and parts[-1] in ("property", "cached_property"):
+            return True
+    return False
+
+
+def _instance_bindings(
+    cls: ClassInfo,
+    cache: Dict[str, Dict[str, List[FunctionInfo]]],
+) -> Dict[str, List[FunctionInfo]]:
+    """``attr -> methods`` for instance attributes rebound to the class's
+    own methods (``self.receive = self._receive_event`` at setup time).
+    Scans the whole MRO once per class and memoizes in ``cache``."""
+    hit = cache.get(cls.qualname)
+    if hit is not None:
+        return hit
+    bindings: Dict[str, List[FunctionInfo]] = {}
+    for ancestor in reversed(cls.mro()):
+        for method in ancestor.methods.values():
+            for node in ast.walk(method.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                value = node.value
+                if not (
+                    isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id == "self"
+                ):
+                    continue
+                target_method = cls.mro_method(value.attr)
+                if target_method is None:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr != value.attr
+                    ):
+                        candidates = bindings.setdefault(target.attr, [])
+                        if target_method not in candidates:
+                            candidates.append(target_method)
+    cache[cls.qualname] = bindings
+    return bindings
+
+
 class _Extractor:
     """Direct effects, call edges, constructions of one function body."""
 
@@ -363,6 +500,7 @@ class _Extractor:
         mutable_globals: Dict[str, ast.stmt],
         registries: Dict[str, List[ClassInfo]],
         layer_map: LayerMap,
+        bound_cache: Optional[Dict[str, Dict[str, List[FunctionInfo]]]] = None,
     ) -> None:
         self.project = project
         self.record = record
@@ -372,6 +510,9 @@ class _Extractor:
         self.mutable_globals = mutable_globals
         self.registries = registries
         self.layer_map = layer_map
+        #: class qualname -> attr -> methods rebound onto the instance
+        #: (``self.send_gossip = self._send_gossip`` in ``__init__``).
+        self.bound_cache = bound_cache if bound_cache is not None else {}
         self.locals, self.declared_global = _local_bindings(
             record.function.node
         )
@@ -445,6 +586,17 @@ class _Extractor:
             self._add(SIM_TIME, node)
         elif node.attr in _ENGINE_ATTRS:
             self._add(SIM_ENGINE, node)
+        # A @property read runs the getter: reading ``self.elapsed`` on a
+        # class whose ``elapsed`` getter touches the clock inherits the
+        # getter's effects exactly like a call would.
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.cls is not None
+        ):
+            method = self.cls.mro_method(node.attr)
+            if method is not None and _is_property(method):
+                self.record.callees.append((method.qualname, False))
 
     def _visit_call(self, node: ast.Call, in_loop: bool) -> None:
         func = node.func
@@ -453,6 +605,8 @@ class _Extractor:
 
         if attr in _SCHEDULE_ATTRS and _is_simish(receiver):
             self._add(SIM_SCHEDULE, node)
+        if attr in _NET_SEND_ATTRS:
+            self._add(NET_SEND, node)
         if attr in _RNG_DRAW_METHODS and _is_rngish(receiver):
             self._add(RNG_DRAW, node)
         if (
@@ -482,6 +636,11 @@ class _Extractor:
         elif isinstance(resolved, ClassInfo):
             self._construct(resolved, node, in_loop)
         else:
+            bound = self._instance_bound_targets(node)
+            if bound:
+                for method in bound:
+                    self.record.callees.append((method.qualname, in_loop))
+                return
             registry_classes = None
             if isinstance(func, ast.Name):
                 registry_classes = self.registry_locals.get(func.id)
@@ -494,6 +653,8 @@ class _Extractor:
                 dotted = self.module.resolve_call(node)
                 if dotted in _WALL_CLOCK_CALLS:
                     self._add(WALL_CLOCK, node)
+                elif dotted in _BLOCKING_CALLS:
+                    self._add(BLOCKING, node)
 
     def _construct(
         self, cls: ClassInfo, node: ast.Call, in_loop: bool
@@ -537,33 +698,28 @@ class _Extractor:
         return name in self.mutable_globals and name not in self.locals
 
     # ------------------------------------------------------------------
-    def _resolve_callee(self, node: ast.Call):
+    def _instance_bound_targets(
+        self, node: ast.Call
+    ) -> Optional[List[FunctionInfo]]:
+        """Methods a ``self.X(...)`` call can dispatch to when ``X`` is an
+        instance attribute rebound to one of the class's own methods
+        (``self.send_gossip = self._send_gossip`` in ``__init__`` — the
+        setup-time method-binding idiom).  All candidate bindings are
+        returned: a conditional rebind contributes every branch."""
         func = node.func
-        # self.method() through the MRO.
-        if (
+        if not (
             isinstance(func, ast.Attribute)
             and isinstance(func.value, ast.Name)
             and func.value.id == "self"
             and self.cls is not None
         ):
-            return self.cls.mro_method(func.attr)
-        # super().method()
-        if (
-            isinstance(func, ast.Attribute)
-            and isinstance(func.value, ast.Call)
-            and isinstance(func.value.func, ast.Name)
-            and func.value.func.id == "super"
-            and self.cls is not None
-        ):
-            for base in self.cls.bases:
-                method = base.mro_method(func.attr)
-                if method is not None:
-                    return method
             return None
-        parts = dotted_parts(func)
-        if parts is None:
-            return None
-        return self.project.resolve_name(self.module, parts)
+        return _instance_bindings(self.cls, self.bound_cache).get(func.attr)
+
+    def _resolve_callee(self, node: ast.Call):
+        return resolve_call_target(
+            self.project, self.module, self.cls, node
+        )
 
     def _assign_stream_consumers(self) -> None:
         """Innermost resolved call wrapping a stream request names its
@@ -614,6 +770,7 @@ def infer_effects(project: Project, layer_map: LayerMap) -> EffectMap:
     effect_map = EffectMap(project, layer_map)
     globals_cache: Dict[str, Dict[str, ast.stmt]] = {}
     registry_cache: Dict[str, Dict[str, List[ClassInfo]]] = {}
+    bound_cache: Dict[str, Dict[str, List[FunctionInfo]]] = {}
 
     def functions() -> Iterable[FunctionInfo]:
         for module in project.modules.values():
@@ -633,7 +790,8 @@ def infer_effects(project: Project, layer_map: LayerMap) -> EffectMap:
             registries = module_class_registries(module, project)
             registry_cache[module.name] = registries
         _Extractor(
-            project, record, mutable_globals, registries, layer_map
+            project, record, mutable_globals, registries, layer_map,
+            bound_cache,
         ).run()
         for request in record.stream_requests:
             name = request.name if request.name is not None else "?"

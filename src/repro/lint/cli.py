@@ -11,9 +11,10 @@
 Exit status: **0** clean, **1** findings, **2** errors (unreadable or
 syntactically-invalid files, bad arguments).
 
-The whole-program analysis (REP100–REP105) runs when ``--analysis`` is
-given, when ``analysis = true`` is set in ``[tool.repro-lint]``, or when a
-REP1xx code is explicitly selected; ``--no-analysis`` always wins.
+The whole-program analysis (REP100–REP105, REP200–REP205, REP300–REP305)
+runs when ``--analysis`` is given, when ``analysis = true`` is set in
+``[tool.repro-lint]``, or when one of its codes is explicitly selected;
+``--no-analysis`` always wins.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ from .analysis import (
     ANALYSIS_RULES,
     analysis_codes,
     build_arch_report,
+    build_ownership_report,
     run_analysis,
 )
 from .config import LintConfig, config_for_paths, load_config
@@ -35,6 +37,8 @@ from .report import (
     render_arch_json,
     render_arch_text,
     render_json,
+    render_ownership_json,
+    render_ownership_text,
     render_sarif,
     render_text,
 )
@@ -42,7 +46,7 @@ from .rules import RULES, all_codes
 from .walker import lint_file
 
 __all__ = ["main", "build_parser", "lint_paths", "arch_report_paths",
-           "LintResult"]
+           "ownership_report_paths", "LintResult"]
 
 
 class LintResult:
@@ -113,7 +117,7 @@ def lint_paths(
     if config is None:
         config = LintConfig() if isolated else config_for_paths(paths)
 
-    whole_program = set(analysis_codes())  # REP1xx and REP2xx
+    whole_program = set(analysis_codes())  # REP1xx, REP2xx, REP3xx
     if analysis is None:
         analysis = config.analysis or bool(whole_program & set(select))
 
@@ -169,6 +173,23 @@ def arch_report_paths(
     return build_arch_report(pairs, config)
 
 
+def ownership_report_paths(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    *,
+    isolated: bool = False,
+) -> dict:
+    """Programmatic ``--ownership-report``: the node-ownership graph,
+    cross-node boundary edges, shared services, and candidate
+    partition-cut seams for ``paths``, as plain (JSON-able) data."""
+    paths = [Path(p) for p in paths]
+    if config is None:
+        config = LintConfig() if isolated else config_for_paths(paths)
+    files, _warnings = _collect_files([p for p in paths if p.exists()], config)
+    pairs = [(path, config.rel_path(path)) for path in files]
+    return build_ownership_report(pairs, config)
+
+
 def _parse_codes(raw: Optional[str]) -> Tuple[str, ...]:
     if not raw:
         return ()
@@ -180,8 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "AST-based determinism & protocol-invariant linter for the "
-            "epidemic pub-sub reproduction (per-file rules REP001-REP007, "
-            "whole-program rules REP100-REP105 via --analysis)"
+            "epidemic pub-sub reproduction (per-file rules REP001-REP007; "
+            "whole-program rules REP100-REP105, architecture rules "
+            "REP200-REP205, and concurrency-safety rules REP300-REP305 "
+            "via --analysis)"
         ),
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
@@ -240,6 +263,15 @@ def build_parser() -> argparse.ArgumentParser:
             "instead of linting (honors --format text/json)"
         ),
     )
+    parser.add_argument(
+        "--ownership-report",
+        action="store_true",
+        help=(
+            "emit the node-ownership graph, cross-node boundary edges, and "
+            "candidate partition-cut seams instead of linting (honors "
+            "--format text/json)"
+        ),
+    )
     return parser
 
 
@@ -255,8 +287,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not args.paths:
         parser.error("no paths given (try: repro-lint src benchmarks)")
 
-    if args.arch_report:
+    if args.arch_report or args.ownership_report:
         config = None
+        builder = (
+            arch_report_paths if args.arch_report else ownership_report_paths
+        )
         try:
             if args.config:
                 config_path = Path(args.config)
@@ -267,16 +302,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     )
                     return 2
                 config = load_config(config_path)
-            report = arch_report_paths(
+            report = builder(
                 [Path(p) for p in args.paths], config, isolated=args.isolated
             )
         except RuntimeError as exc:  # no TOML parser on this interpreter
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if args.arch_report:
+            render_as_json, render_as_text = render_arch_json, render_arch_text
+        else:
+            render_as_json = render_ownership_json
+            render_as_text = render_ownership_text
         if args.format == "json":
-            print(render_arch_json(report))
-        else:  # text (sarif has no architecture schema; text reads best)
-            print(render_arch_text(report))
+            print(render_as_json(report))
+        else:  # text (sarif has no report schema; text reads best)
+            print(render_as_text(report))
         return 0
 
     select = _parse_codes(args.select) + _parse_codes(args.rules)

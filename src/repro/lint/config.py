@@ -36,6 +36,12 @@ Recognised keys::
     [tool.repro-lint.rng-streams]          # REP204: subsystem -> name patterns
     "repro.recovery" = ["gossip[*"]
 
+    [tool.repro-lint.ownership]            # REP301 shared-service contract
+    shared-services = [                    # classes *declared* to be shared
+        "repro.pubsub.pattern.PatternSpace",   # across nodes on purpose —
+        "EventIdRegistry",                     # fnmatch over qualname, bare
+    ]                                          # name, and Storer.attr homes
+
 Paths in patterns are matched against the file's path relative to the
 directory containing ``pyproject.toml`` (the *config root*), in POSIX form.
 A file *outside* the config root has no such relative form and is matched
@@ -66,6 +72,7 @@ __all__ = [
     "HotPathConfig",
     "LayersConfig",
     "SlotsConfig",
+    "OwnershipConfig",
     "load_config",
     "find_pyproject",
 ]
@@ -153,6 +160,29 @@ class SlotsConfig:
 
 
 @dataclass(frozen=True)
+class OwnershipConfig:
+    """``[tool.repro-lint.ownership]``: the REP301 shared-service contract.
+
+    ``shared_services`` holds fnmatch patterns naming the classes that are
+    *deliberately* one-per-simulation and aliased into every node — interners
+    and registries whose replicate-or-centralize decision is a declared
+    partition seam, not an accident.  Patterns match the shared class's
+    dotted qualname, its bare name, and every ``Storer.attr`` home the
+    object is captured at.  Anything else reachable-and-mutated from two
+    node instances is a REP301 finding.
+    """
+
+    shared_services: Tuple[str, ...] = ()
+
+    def is_declared(self, *names: str) -> bool:
+        return any(
+            fnmatch.fnmatch(name, pattern)
+            for name in names
+            for pattern in self.shared_services
+        )
+
+
+@dataclass(frozen=True)
 class LintConfig:
     """Resolved linter configuration."""
 
@@ -173,6 +203,8 @@ class LintConfig:
     #: fnmatch patterns.  Empty means "any literal name" (only dynamic
     #: names are flagged).
     rng_streams: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    #: REP301 declared shared services.
+    ownership: OwnershipConfig = field(default_factory=OwnershipConfig)
 
     def rel_path(self, path: Path) -> str:
         """``path`` relative to the config root, in POSIX form.
@@ -265,6 +297,12 @@ def load_config(pyproject: Path) -> LintConfig:
         (str(prefix), tuple(str(p) for p in patterns))
         for prefix, patterns in table.get("rng-streams", {}).items()
     )
+    ownership_table = table.get("ownership", {})
+    ownership = OwnershipConfig(
+        shared_services=tuple(
+            str(p) for p in ownership_table.get("shared-services", ())
+        )
+    )
     return LintConfig(
         root=pyproject.parent,
         exclude=tuple(table.get("exclude", ())),
@@ -276,6 +314,7 @@ def load_config(pyproject: Path) -> LintConfig:
         layers=layers,
         slots=slots,
         rng_streams=rng_streams,
+        ownership=ownership,
     )
 
 

@@ -1,0 +1,180 @@
+"""Edge cases of the effect fixpoint the ownership pass leans on.
+
+The REP300-series resolves call targets through three constructs the
+original extractor skipped: ``functools.partial`` wrappers, per-instance
+bound entry points (the ``Dispatcher.send_gossip`` pattern — ``__init__``
+rebinds ``self.send_gossip`` to ``self._send_gossip_tracked`` or
+``_plain`` at setup time), and ``@property`` getters whose *read* runs
+code.  Each test seeds a miniature module, builds a project over it, and
+asserts the effect (or the call edge) crosses the construct.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.analysis.effects import (
+    BLOCKING,
+    SIM_TIME,
+    WALL_CLOCK,
+    infer_effects,
+    resolve_call_target,
+)
+from repro.lint.analysis.layers import build_layer_map
+from repro.lint.analysis.model import build_project
+from repro.lint.config import LayersConfig
+
+
+def project_from(tmp_path, name, source):
+    path = tmp_path / f"{name}.py"
+    path.write_text(textwrap.dedent(source))
+    return build_project([(path, f"{name}.py")])
+
+
+def effects_of(project):
+    return infer_effects(project, build_layer_map(LayersConfig(), project))
+
+
+def test_partial_target_propagates_effects(tmp_path):
+    project = project_from(
+        tmp_path,
+        "partials",
+        """
+        import functools
+        import time
+
+        def settle():
+            time.sleep(0.1)
+
+        def kick(calendar):
+            calendar.append(functools.partial(settle))
+        """,
+    )
+    effects = effects_of(project)
+    record = effects.of("partials.kick")
+    assert BLOCKING in record.effects
+    assert ("partials.settle", False) in record.callees
+
+
+def test_partial_over_bound_method_resolves(tmp_path):
+    project = project_from(
+        tmp_path,
+        "bound_partial",
+        """
+        import functools
+
+        class Timer:
+            def _fire(self):
+                import time
+                return time.time()
+
+            def arm(self):
+                return functools.partial(self._fire)
+        """,
+    )
+    effects = effects_of(project)
+    record = effects.of("bound_partial.Timer.arm")
+    assert WALL_CLOCK in record.effects
+    cls = project.classes["bound_partial.Timer"]
+    arm = cls.methods["arm"]
+    import ast
+
+    call = next(
+        node
+        for node in ast.walk(arm.node)
+        if isinstance(node, ast.Call)
+        and getattr(node.func, "attr", None) == "partial"
+    )
+    resolved = resolve_call_target(project, arm.module, cls, call)
+    assert resolved is cls.methods["_fire"]
+
+
+def test_instance_bound_entry_point_inherits_effects(tmp_path):
+    # The Dispatcher.send_gossip pattern: __init__ picks the tracked or
+    # plain implementation once, everything else calls the bound name.
+    project = project_from(
+        tmp_path,
+        "bound_entry",
+        """
+        import time
+
+        class Gossiper:
+            def __init__(self, tracked):
+                if tracked:
+                    self.send_gossip = self._send_gossip_tracked
+                else:
+                    self.send_gossip = self._send_gossip_plain
+
+            def _send_gossip_tracked(self):
+                time.sleep(0.001)
+
+            def _send_gossip_plain(self):
+                pass
+
+            def round(self):
+                self.send_gossip()
+        """,
+    )
+    effects = effects_of(project)
+    record = effects.of("bound_entry.Gossiper.round")
+    # Both candidate implementations become call edges; the tracked
+    # one's blocking effect reaches the caller.
+    callees = {qualname for qualname, _ in record.callees}
+    assert "bound_entry.Gossiper._send_gossip_tracked" in callees
+    assert "bound_entry.Gossiper._send_gossip_plain" in callees
+    assert BLOCKING in record.effects
+
+
+def test_property_read_runs_the_getter(tmp_path):
+    project = project_from(
+        tmp_path,
+        "props",
+        """
+        class Probe:
+            def __init__(self, sim):
+                self.sim = sim
+
+            @property
+            def elapsed(self):
+                return self.sim.now
+
+            def sample(self):
+                return self.elapsed + 1.0
+        """,
+    )
+    effects = effects_of(project)
+    getter = effects.of("props.Probe.elapsed")
+    assert SIM_TIME in getter.effects
+    record = effects.of("props.Probe.sample")
+    assert SIM_TIME in record.effects, (
+        "reading a @property must inherit the getter's effects"
+    )
+
+
+def test_decorated_method_keeps_its_effects(tmp_path):
+    # Arbitrary decorators must not hide a method from the fixpoint.
+    project = project_from(
+        tmp_path,
+        "decorated",
+        """
+        import functools
+        import time
+
+        def logged(fn):
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                return fn(*args, **kwargs)
+            return wrapper
+
+        class Worker:
+            @logged
+            def nap(self):
+                time.sleep(0.5)
+
+            def shift(self):
+                self.nap()
+        """,
+    )
+    effects = effects_of(project)
+    assert BLOCKING in effects.of("decorated.Worker.nap").effects
+    assert BLOCKING in effects.of("decorated.Worker.shift").effects

@@ -1,0 +1,28 @@
+"""Ownership fixture, *app* layer (clean): wires the stack per node.
+
+The loop-invariant constructor arguments here are the engine and the
+transport — the declared runtime substrate every node legitimately
+references — so REP301 stays quiet.  Everything node-owned is a fresh
+per-iteration construction.
+"""
+
+import eng
+import net
+from proto_alias import Buddy
+from proto_chain import Flooder
+from proto_identity import Chooser
+from proto_own_clean import Agent
+from proto_payload import Courier
+
+DEFAULT_POPULATION = 8
+
+
+def build(population=DEFAULT_POPULATION):
+    sim = eng.Simulator()
+    network = net.Network()
+    agents = [Agent(sim, network, i) for i in range(population)]
+    buddies = [Buddy(i) for i in range(population)]
+    choosers = [Chooser(sim, i) for i in range(population)]
+    couriers = [Courier(sim, network, i) for i in range(population)]
+    flooders = [Flooder(network, i) for i in range(population)]
+    return sim, network, agents, buddies, choosers, couriers, flooders

@@ -1,0 +1,25 @@
+"""Ownership fixture, *app* layer (bad): shared mutable wiring.
+
+``build_shared`` hands one ``Registry`` to every ``Node`` in the loop;
+the nodes mutate it through ``intern`` and nothing declares it, so the
+construction is REP301.  ``build_declared`` shares a ``DeclaredBoard``
+the same way, but the test config declares it a shared service — the
+partition seam is recorded, not hidden, and the rule stays quiet.
+"""
+
+from proto_shared import DeclaredBoard, Keeper, Node, Registry
+
+DEFAULT_POPULATION = 8
+
+
+def build_shared(population=DEFAULT_POPULATION):
+    registry = Registry()
+    # REP301: one mutable Registry captured by every Node.
+    nodes = [Node(i, registry) for i in range(population)]
+    return registry, nodes
+
+
+def build_declared(population=DEFAULT_POPULATION):
+    board = DeclaredBoard()
+    keepers = [Keeper(i, board) for i in range(population)]
+    return board, keepers

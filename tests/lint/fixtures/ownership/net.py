@@ -1,0 +1,17 @@
+"""Ownership fixture, *transport* layer: the boundary every node edge
+must pass — the partition-cut seam the REP300 series protects."""
+
+
+class Network:
+    """A stub transport: records what the protocol asks it to send."""
+
+    __slots__ = ("sent",)
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, source, target, message):
+        self.sent.append((source, target, message))
+
+    def transmit(self, link, message):
+        self.sent.append((link, message))

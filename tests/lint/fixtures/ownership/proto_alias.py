@@ -1,0 +1,25 @@
+"""Ownership fixture, *proto* layer (bad): cross-node aliasing.
+
+``share_live`` hands this node's live inbox to another node's state
+through a plain method call, and ``graft`` aliases it in with a direct
+attribute store — neither passes the Network/engine seam, so a partition
+cut would leave two processes mutating one list.  Both are REP300.
+"""
+
+
+class Buddy:
+    __slots__ = ("node_id", "inbox", "twin")
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.inbox = []
+        self.twin = None
+
+    def adopt(self, inbox):
+        self.inbox = inbox
+
+    def share_live(self, peer: "Buddy"):
+        peer.adopt(self.inbox)  # REP300: live alias into the other node
+
+    def graft(self, peer: "Buddy"):
+        peer.twin = self.inbox  # REP300: direct store into the other node

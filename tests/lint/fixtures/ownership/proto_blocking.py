@@ -1,0 +1,18 @@
+"""Ownership fixture, *proto* layer (bad): blocking reachability.
+
+``settle`` blocks the host directly; ``converge`` reaches the same
+sleep through a call chain.  Under a cooperative asyncio backend either
+one stalls the whole event loop, so both are REP304 — the direct site
+and the inheriting caller.
+"""
+
+import time
+
+
+def settle():
+    time.sleep(0.01)  # REP304: direct blocking call in protocol code
+
+
+def converge(rounds):
+    for _ in range(rounds):
+        settle()  # REP304: inherits the blocking effect

@@ -1,0 +1,40 @@
+"""Ownership fixture, *proto* layer (bad): payload closure.
+
+``Courier.beam`` sends a ``Tether`` whose object graph holds the live
+simulator — a partition cut must pickle what crosses the seam, and a
+live engine reference cannot: REP303.  ``post`` sends a ``Parcel`` of
+plain data and stays quiet.
+"""
+
+import eng
+
+
+class Tether:
+    __slots__ = ("engine", "data")
+
+    def __init__(self, engine: eng.Simulator, data):
+        self.engine = engine
+        self.data = data
+
+
+class Parcel:
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        self.data = data
+
+
+class Courier:
+    __slots__ = ("sim", "net", "node_id")
+
+    def __init__(self, sim, net, node_id):
+        self.sim = sim
+        self.net = net
+        self.node_id = node_id
+
+    def beam(self, target, data):
+        # REP303: the payload graph closes over the engine.
+        self.net.send(self.node_id, target, Tether(self.sim, data))
+
+    def post(self, target, data):
+        self.net.send(self.node_id, target, Parcel(data))

@@ -1,0 +1,53 @@
+"""Ownership fixture, *proto* layer: shared-service definitions.
+
+The classes here are innocent on their own — ``app_shared`` decides
+whether one instance is handed to every node.  ``Registry`` is mutated
+through its capture home and *not* declared a shared service (REP301
+fires at the construction loop); ``DeclaredBoard`` is equally shared and
+mutated but declared under ``[tool.repro-lint.ownership]``, recording
+the partition seam instead of hiding it.
+"""
+
+
+class Registry:
+    __slots__ = ("_index",)
+
+    def __init__(self):
+        self._index = {}
+
+    def intern(self, key):
+        if key not in self._index:
+            self._index[key] = len(self._index)
+        return self._index[key]
+
+
+class Node:
+    __slots__ = ("node_id", "registry")
+
+    def __init__(self, node_id, registry: Registry):
+        self.node_id = node_id
+        self.registry = registry
+
+    def record(self, key):
+        return self.registry.intern(key)
+
+
+class DeclaredBoard:
+    __slots__ = ("items",)
+
+    def __init__(self):
+        self.items = []
+
+    def post(self, item):
+        self.items.append(item)
+
+
+class Keeper:
+    __slots__ = ("node_id", "board")
+
+    def __init__(self, node_id, board: DeclaredBoard):
+        self.node_id = node_id
+        self.board = board
+
+    def note(self, item):
+        self.board.post(item)

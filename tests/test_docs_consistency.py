@@ -82,6 +82,42 @@ class TestPerformancePromises:
         assert "benchmarks/record.py" in self.PERFORMANCE
 
 
+class TestLintingCataloguePromises:
+    LINTING = (REPO_ROOT / "docs" / "LINTING.md").read_text()
+
+    @staticmethod
+    def all_rule_codes():
+        from repro.lint.analysis import ANALYSIS_RULES
+        from repro.lint.rules import RULES
+
+        return sorted(rule.code for rule in (*RULES, *ANALYSIS_RULES))
+
+    def test_every_rule_has_a_catalogue_entry(self):
+        # Each shipped REPxxx rule gets a `### REPxxx — ...` heading.
+        for code in self.all_rule_codes():
+            assert f"### {code} " in self.LINTING, (
+                f"{code} is implemented but has no docs/LINTING.md entry"
+            )
+
+    def test_every_catalogue_entry_has_a_rule(self):
+        import re
+
+        documented = re.findall(r"^### (REP\d{3}) ", self.LINTING,
+                                flags=re.MULTILINE)
+        implemented = set(self.all_rule_codes())
+        ghosts = [code for code in documented if code not in implemented]
+        assert ghosts == [], (
+            f"docs/LINTING.md documents rules that do not exist: {ghosts}"
+        )
+
+    def test_catalogue_entries_are_unique(self):
+        import re
+
+        documented = re.findall(r"^### (REP\d{3}) ", self.LINTING,
+                                flags=re.MULTILINE)
+        assert len(documented) == len(set(documented))
+
+
 class TestExperimentsPromises:
     def test_every_figure_bench_referenced(self):
         benches = sorted(

@@ -501,6 +501,56 @@ def bench_sweep_scaling(quick: bool) -> Optional[Dict[str, object]]:
     return record
 
 
+def bench_campaign_journal(quick: bool) -> Optional[Dict[str, object]]:
+    """Journaling overhead of the crash-tolerant campaign runtime.
+
+    The same serial cell grid twice: straight ``run_scenario`` calls,
+    then ``run_campaign`` journaling every cell into a fresh directory.
+    Both legs execute identical simulation work, so the delta is purely
+    the digest + JSON-serialize + atomic-rename cost per cell.  Contract
+    (docs/CAMPAIGNS.md): ``journal_over_plain`` stays below 1.03.
+    ``seconds`` carries the journaled leg so the regression gate bounds
+    the sum of simulation time and journaling cost; the plain leg of the
+    same grid is what ``figure_scenario`` and ``sweep_scaling`` already
+    gate.
+    """
+    try:
+        from repro.campaign import run_campaign
+        from repro.scenarios.runner import run_scenario
+    except ImportError:  # pragma: no cover - pre-campaign trees
+        return None
+    import shutil
+    import tempfile
+
+    base = _sweep_config(quick)
+    configs = [base.replace(seed=seed) for seed in range(1, 3 if quick else 6)]
+
+    def plain() -> float:
+        return sum(run_scenario(config).delivery_rate for config in configs)
+
+    def journaled() -> float:
+        directory = tempfile.mkdtemp(prefix="bench-campaign-")
+        try:
+            outcome = run_campaign(configs, directory, jobs=1)
+            return sum(
+                result.delivery_rate for result in outcome.results if result
+            )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    repeats = 1 if quick else 3
+    plain_entry = _time(plain, repeats)
+    journal_entry = _time(journaled, repeats)
+    return {
+        "seconds": journal_entry["seconds"],
+        "plain_seconds": plain_entry["seconds"],
+        "journal_over_plain": round(
+            journal_entry["seconds"] / plain_entry["seconds"], 4
+        ),
+        "cells": len(configs),
+    }
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -513,6 +563,7 @@ BENCHES = {
     "faults_scenario": bench_faults_scenario,
     "large_topology": bench_large_topology,
     "lint_analysis": bench_lint_analysis,
+    "campaign_journal": bench_campaign_journal,
 }
 
 
@@ -573,6 +624,7 @@ CORE_BENCHES = (
     "table_matching",
     "large_topology",
     "lint_analysis",
+    "campaign_journal",
 )
 
 #: Fractional peak-RSS growth tolerated on gating benches before the gate

@@ -23,6 +23,7 @@ See ``examples/`` for complete scenarios and ``benchmarks/`` for the
 reproduction of every figure of the paper's evaluation.
 """
 
+from repro.campaign import run_campaign
 from repro.scenarios.config import SimulationConfig
 from repro.scenarios.builder import Simulation
 from repro.scenarios.results import RunResult
@@ -42,6 +43,7 @@ __all__ = [
     "RunResult",
     "run_scenario",
     "run_many",
+    "run_campaign",
     "ALGORITHMS",
     "PAPER_ALGORITHMS",
     "create_recovery",

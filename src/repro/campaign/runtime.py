@@ -1,0 +1,213 @@
+"""The journal x executor composition behind ``campaign_dir=``.
+
+:func:`run_campaign` is what :func:`repro.parallel.map_scenarios` routes
+through when a campaign directory is given:
+
+1. load the journal and *skip* every already-recorded cell (dedup by
+   config digest -- identical configs share one record);
+2. run the remaining cells, journaling each one the moment it completes
+   (serially in-process for ``jobs=1``, else on a
+   :class:`~repro.campaign.executor.ResilientProcessExecutor` that
+   retries crashed/hung workers);
+3. merge journaled + fresh results back into config order and report
+   what happened (:class:`CampaignReport`): skipped/executed counts,
+   retry totals, and the quarantined failures -- never silently dropped.
+
+Because cells are pure functions of config and the journal round-trip is
+signature-exact, a campaign interrupted by ``kill -9`` and resumed -- any
+number of times, with any executor -- merges to results bit-identical to
+one uninterrupted serial run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.campaign.executor import ResilientProcessExecutor
+from repro.campaign.journal import CampaignJournal
+from repro.parallel.executor import (
+    CellFailure,
+    CellFailureError,
+    ExperimentExecutor,
+    JobsSpec,
+    resolve_jobs,
+)
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.results import RunResult
+from repro.scenarios.serialize import config_digest
+
+__all__ = ["CampaignReport", "CampaignResult", "run_campaign"]
+
+
+@dataclass
+class CampaignReport:
+    """Accounting for one :func:`run_campaign` call."""
+
+    #: Cells requested (positions in the config list, duplicates included).
+    total: int = 0
+    #: Cells satisfied straight from the journal.
+    skipped: int = 0
+    #: Unique cells actually executed this call.
+    executed: int = 0
+    #: Attempt-charging resubmissions across all cells.
+    retries: int = 0
+    #: Cells that blew a per-cell deadline at least once.
+    timeouts: int = 0
+    #: Attempts lost to dead workers.
+    worker_crashes: int = 0
+    #: Process-pool teardown/rebuild cycles.
+    pool_rebuilds: int = 0
+    #: Quarantined cells (exhausted retries), in config-position order.
+    failures: List[CellFailure] = field(default_factory=list)
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.total} cells: {self.skipped} journaled, "
+            f"{self.executed} executed"
+        ]
+        if self.retries:
+            parts.append(
+                f"{self.retries} retries ({self.timeouts} timeouts, "
+                f"{self.worker_crashes} worker crashes, "
+                f"{self.pool_rebuilds} pool rebuilds)"
+            )
+        if self.failures:
+            parts.append(f"{len(self.failures)} quarantined")
+        return "; ".join(parts)
+
+
+@dataclass
+class CampaignResult:
+    """Merged results (config order; ``None`` at quarantined slots)."""
+
+    results: List[Optional[RunResult]]
+    report: CampaignReport
+
+    def raise_on_failures(self) -> None:
+        """Surface quarantined cells as a :class:`CellFailureError`."""
+        if self.report.failures:
+            raise CellFailureError(self.report.failures, self.results)
+
+
+def run_campaign(
+    configs: List[SimulationConfig],
+    campaign_dir: Union[str, "os.PathLike[str]"],
+    jobs: JobsSpec = None,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
+    cell_timeout: Optional[float] = None,
+    max_retries: int = 2,
+) -> CampaignResult:
+    """Run ``configs`` under the journal at ``campaign_dir``.
+
+    ``jobs`` follows the usual contract (``None``/1 serial, N fans out)
+    except that the parallel backend is always the resilient executor --
+    robustness is the point of a campaign.  Pass ``executor`` explicitly
+    to override (the chaos tests inject :class:`ChaosExecutor` here).
+    ``cell_timeout`` and ``max_retries`` configure the resilient backend.
+    """
+    from repro.scenarios.runner import run_scenario
+
+    configs = list(configs)
+    journal = CampaignJournal(campaign_dir)
+    journal.ensure()
+    report = CampaignReport(total=len(configs))
+
+    digests = [config_digest(config) for config in configs]
+    known = journal.load()
+    results: List[Optional[RunResult]] = [None] * len(configs)
+
+    # Unique cells still to run, in first-appearance order.
+    pending: List[Tuple[str, SimulationConfig]] = []
+    seen = set()
+    for digest, config in zip(digests, configs):
+        if digest in known:
+            report.skipped += 1
+            continue
+        if digest not in seen:
+            seen.add(digest)
+            pending.append((digest, config))
+
+    fresh: Dict[str, RunResult] = {}
+    quarantined: Dict[str, CellFailure] = {}
+    if pending:
+        report.executed = len(pending)
+        pending_configs = [config for _, config in pending]
+        if executor is None and resolve_jobs(jobs) > 1:
+            executor = ResilientProcessExecutor(
+                resolve_jobs(jobs),
+                cell_timeout=cell_timeout,
+                max_retries=max_retries,
+            )
+        if isinstance(executor, ResilientProcessExecutor):
+
+            def journal_result(index: int, result: RunResult) -> None:
+                digest = pending[index][0]
+                journal.record(result)
+                fresh[digest] = result
+
+            sub_results, exec_report = executor.map_report(
+                run_scenario, pending_configs, on_result=journal_result
+            )
+            report.retries = exec_report.retries
+            report.timeouts = exec_report.timeouts
+            report.worker_crashes = exec_report.worker_crashes
+            report.pool_rebuilds = exec_report.pool_rebuilds
+            for failure in exec_report.failures:
+                digest, config = pending[failure.index]
+                journal.record_failure(
+                    config, failure.kind, failure.error, failure.attempts
+                )
+                quarantined[digest] = failure
+        else:
+            # Serial (or caller-supplied plain executor) path: run one
+            # cell at a time, journaling as each completes so a kill at
+            # any point loses at most the in-flight cell.
+            serial = executor  # None means "call run_scenario directly"
+            for digest, config in pending:
+                try:
+                    if serial is None:
+                        result = run_scenario(config)
+                    else:
+                        result = serial.map(run_scenario, [config])[0]
+                except CellFailureError as exc:
+                    inner = exc.failures[0]
+                    journal.record_failure(
+                        config, inner.kind, inner.error, inner.attempts
+                    )
+                    quarantined[digest] = inner
+                except Exception as exc:
+                    journal.record_failure(
+                        config, "exception", f"{type(exc).__name__}: {exc}", 1
+                    )
+                    quarantined[digest] = CellFailure(
+                        index=0,
+                        kind="exception",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    journal.record(result)
+                    fresh[digest] = result
+
+    # Merge journaled + fresh results back into config-position order.
+    for position, digest in enumerate(digests):
+        if digest in known:
+            results[position] = known[digest].result
+        elif digest in fresh:
+            results[position] = fresh[digest]
+        elif digest in quarantined:
+            inner = quarantined[digest]
+            report.failures.append(
+                CellFailure(
+                    index=position,
+                    kind=inner.kind,
+                    error=inner.error,
+                    attempts=inner.attempts,
+                )
+            )
+    if not report.failures:
+        # Campaign complete: fold the per-cell files into one journal.
+        journal.compact()
+    return CampaignResult(results=results, report=report)

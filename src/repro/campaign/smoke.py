@@ -1,0 +1,188 @@
+"""End-to-end crash/resume smoke: SIGKILL a live campaign, then resume.
+
+``python -m repro.campaign.smoke`` (CI's ``campaign-smoke`` job):
+
+1. computes the reference results of a small sweep with an uninterrupted
+   in-process serial run;
+2. launches the same sweep as a *campaign* in a subprocess (fanned over
+   ``--jobs`` workers) and SIGKILLs the whole process group the moment
+   the journal holds its first cell -- the harshest interruption the
+   runtime claims to survive;
+3. resumes the campaign serially in this process and diffs every merged
+   ``RunResult.signature()`` against the reference.
+
+Exit status 0 means: at least one cell was journaled before the kill, at
+least one was recovered from the journal on resume, no cell was lost or
+silently dropped, and the merged results are bit-identical to the
+uninterrupted run.
+
+The sweep is a pure function of nothing (fixed configs), so the parent,
+the killed child, and the resuming process all agree on the cell list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.campaign.journal import CampaignJournal
+from repro.campaign.runtime import run_campaign
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.runner import run_scenario
+
+__all__ = ["smoke_configs", "main"]
+
+#: Cells in the smoke sweep; small enough for CI, large enough that the
+#: kill lands mid-campaign.
+N_CELLS = 8
+
+
+def smoke_configs() -> List[SimulationConfig]:
+    """The smoke sweep: one small lossy-delivery cell per seed."""
+    base = SimulationConfig(
+        n_dispatchers=20,
+        n_patterns=12,
+        pi_max=2,
+        sim_time=3.0,
+        buffer_size=150,
+    )
+    return [base.replace(seed=seed) for seed in range(1, N_CELLS + 1)]
+
+
+def _run_child(campaign_dir: str, jobs: int) -> int:
+    """Child mode: run the campaign (normally killed before finishing)."""
+    run_campaign(smoke_configs(), campaign_dir, jobs=jobs)
+    return 0
+
+
+def _wait_for_first_cell(journal: CampaignJournal, timeout: float) -> int:
+    """Poll until the journal holds >= 1 cell; returns the count seen."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        count = len(list(journal.cells_dir.glob("*.ndjson")))
+        if count >= 1:
+            return count
+        time.sleep(0.05)
+    return 0
+
+
+def _kill_group(process: "subprocess.Popen[bytes]") -> None:
+    """SIGKILL the child and its pool workers (it leads its own group)."""
+    try:
+        os.killpg(process.pid, signal.SIGKILL)
+    except ProcessLookupError:  # pragma: no cover - already gone
+        pass
+    process.wait()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="campaign crash/resume smoke (SIGKILL mid-sweep)"
+    )
+    parser.add_argument("--jobs", type=int, default=2, help="child worker count")
+    parser.add_argument(
+        "--dir", default=None, help="campaign directory (default: a temp dir)"
+    )
+    parser.add_argument(
+        "--kill-timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for the first journaled cell",
+    )
+    parser.add_argument(
+        "--run-campaign",
+        metavar="DIR",
+        default=None,
+        help=argparse.SUPPRESS,  # internal: child mode
+    )
+    args = parser.parse_args(argv)
+
+    if args.run_campaign is not None:
+        return _run_child(args.run_campaign, args.jobs)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        campaign_dir = Path(args.dir) if args.dir else Path(tmp) / "campaign"
+        journal = CampaignJournal(campaign_dir)
+        journal.ensure()
+        configs = smoke_configs()
+
+        print(f"[smoke] reference: uninterrupted serial run of {len(configs)} cells")
+        reference = [run_scenario(config) for config in configs]
+
+        print(f"[smoke] launching campaign child (jobs={args.jobs})")
+        env = dict(os.environ)
+        child = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.campaign.smoke",
+                "--run-campaign",
+                str(campaign_dir),
+                "--jobs",
+                str(args.jobs),
+            ],
+            env=env,
+            start_new_session=True,  # so the kill takes the pool workers too
+        )
+        journaled = _wait_for_first_cell(journal, args.kill_timeout)
+        if journaled < 1:
+            _kill_group(child)
+            print("[smoke] FAIL: no cell journaled before the timeout")
+            return 1
+        _kill_group(child)
+        print(f"[smoke] SIGKILLed child with {journaled} cell(s) journaled")
+
+        after_kill = len(journal.load())
+        if after_kill >= len(configs):
+            # The child finished everything before the kill landed; the
+            # resume below still proves journal replay, but say so.
+            print("[smoke] note: child completed before the kill (fast host)")
+
+        print("[smoke] resuming serially from the journal")
+        outcome = run_campaign(configs, campaign_dir)
+        print(f"[smoke] resume: {outcome.report.describe()}")
+
+        failures = 0
+        if outcome.report.skipped < 1:
+            print("[smoke] FAIL: resume recovered nothing from the journal")
+            failures += 1
+        if outcome.report.failures:
+            print(f"[smoke] FAIL: quarantined cells: {outcome.report.failures}")
+            failures += 1
+        if len(outcome.results) != len(configs) or any(
+            result is None for result in outcome.results
+        ):
+            print("[smoke] FAIL: lost cells in the merged result")
+            failures += 1
+        else:
+            mismatches = [
+                index
+                for index, (merged, expected) in enumerate(
+                    zip(outcome.results, reference)
+                )
+                if merged is not None
+                and merged.signature() != expected.signature()
+            ]
+            if mismatches:
+                print(f"[smoke] FAIL: signature mismatch at cells {mismatches}")
+                failures += 1
+        if failures:
+            return 1
+        print(
+            f"[smoke] PASS: {len(configs)} cells bit-identical to the "
+            f"uninterrupted run ({outcome.report.skipped} recovered from "
+            f"the journal, {outcome.report.executed} re-executed)"
+        )
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())

@@ -5,7 +5,10 @@
     repro-pubsub run   [--algorithm X] [--error-rate E] [--n N] ...
     repro-pubsub compare [--error-rate E] [--jobs N] ...
     repro-pubsub figure {3a,3b,4-buffer,4-interval,5,6,7,8,9a,9b,10,churn} [--jobs N]
+                        [--campaign-dir DIR]
     repro-pubsub faults --injector {crash,churn,burst-loss,partition,combined} ...
+    repro-pubsub campaign status DIR
+    repro-pubsub campaign resume DIR [--jobs N]
     repro-pubsub list-algorithms
 
 ``run`` executes one scenario and prints its summary; ``compare`` runs all
@@ -14,6 +17,13 @@ the paper's figures (table + ASCII chart); ``faults`` runs one scenario
 under a preset fault-injection plan and prints the fault counters next to
 the delivery summary.  ``REPRO_PAPER_SCALE=1`` in the environment switches
 the figures to the paper's full scale.
+
+``figure --campaign-dir DIR`` journals every cell under DIR (atomic
+write-then-rename, resumable after any crash; see docs/CAMPAIGNS.md) and
+records which figure the directory belongs to; ``campaign status`` shows
+a directory's progress and quarantined cells, and ``campaign resume``
+re-dispatches the recorded figure -- journaled cells are skipped, so
+only the missing work runs.
 """
 
 from __future__ import annotations
@@ -71,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true", help="also draw an ASCII chart"
     )
     _add_jobs_argument(figure_parser)
+    figure_parser.add_argument(
+        "--campaign-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "journal every cell under DIR and skip cells already journaled "
+            "there (crash-tolerant, resumable; see docs/CAMPAIGNS.md)"
+        ),
+    )
 
     faults_parser = subparsers.add_parser(
         "faults", help="run one scenario under a preset fault-injection plan"
@@ -108,6 +127,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the recovery layer's graceful-degradation machinery",
     )
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="inspect or resume a journaled campaign directory"
+    )
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command", required=True)
+    status_parser = campaign_sub.add_parser(
+        "status", help="show a campaign directory's progress"
+    )
+    status_parser.add_argument("dir", help="campaign directory")
+    resume_parser = campaign_sub.add_parser(
+        "resume", help="re-dispatch the figure recorded in the manifest"
+    )
+    resume_parser.add_argument("dir", help="campaign directory")
+    resume_parser.add_argument(
+        "--chart", action="store_true", help="also draw an ASCII chart"
+    )
+    _add_jobs_argument(resume_parser)
 
     subparsers.add_parser("list-algorithms", help="list recovery algorithms")
     return parser
@@ -238,19 +274,93 @@ def _print_fault_stats(result) -> None:
 
 
 _FIGURES = {
-    "3a": lambda jobs: experiments.fig3a_lossy_delivery(jobs=jobs),
-    "3b": lambda jobs: experiments.fig3b_reconfiguration(jobs=jobs),
-    "4-buffer": lambda jobs: experiments.fig4_buffer_sweep(jobs=jobs),
-    "4-interval": lambda jobs: experiments.fig4_interval_sweep(jobs=jobs),
-    "5": lambda jobs: experiments.fig5_interval_buffer_grid(jobs=jobs),
-    "6": lambda jobs: experiments.fig6_scalability(jobs=jobs),
-    "7": lambda jobs: experiments.fig7_receivers_per_event(jobs=jobs),
-    "8": lambda jobs: experiments.fig8_patterns_delivery(jobs=jobs),
-    "9a": lambda jobs: experiments.fig9a_overhead_scale(jobs=jobs),
-    "9b": lambda jobs: experiments.fig9b_overhead_patterns(jobs=jobs),
-    "10": lambda jobs: experiments.fig10_overhead_error_rate(jobs=jobs),
-    "churn": lambda jobs: experiments.figX_churn_delivery(jobs=jobs),
+    "3a": experiments.fig3a_lossy_delivery,
+    "3b": experiments.fig3b_reconfiguration,
+    "4-buffer": experiments.fig4_buffer_sweep,
+    "4-interval": experiments.fig4_interval_sweep,
+    "5": experiments.fig5_interval_buffer_grid,
+    "6": experiments.fig6_scalability,
+    "7": experiments.fig7_receivers_per_event,
+    "8": experiments.fig8_patterns_delivery,
+    "9a": experiments.fig9a_overhead_scale,
+    "9b": experiments.fig9b_overhead_patterns,
+    "10": experiments.fig10_overhead_error_rate,
+    "churn": experiments.figX_churn_delivery,
 }
+
+
+def _run_figure(which: str, jobs: int, campaign_dir, chart: bool) -> int:
+    """Shared body of ``figure`` and ``campaign resume``."""
+    from repro.parallel.executor import CellFailureError
+
+    if campaign_dir is not None:
+        from repro.campaign.journal import CampaignJournal
+
+        CampaignJournal(campaign_dir).write_manifest(
+            {
+                "command": {"kind": "figure", "which": which},
+                "scale": experiments.scale_mode(),
+            }
+        )
+    try:
+        result = _FIGURES[which](jobs=jobs, campaign_dir=campaign_dir)
+    except CellFailureError as error:
+        print(f"campaign incomplete: {error}", file=sys.stderr)
+        print(
+            "quarantined cells stay recorded under failed/; rerun "
+            "'repro-pubsub campaign resume' to retry them",
+            file=sys.stderr,
+        )
+        return 1
+    print(result.to_table())
+    if chart:
+        print()
+        print(result.to_chart())
+    return 0
+
+
+def _campaign_status(directory: str) -> int:
+    from repro.campaign.journal import CampaignJournal
+
+    journal = CampaignJournal(directory)
+    manifest = journal.read_manifest()
+    entries = journal.load()
+    failures = journal.failures()
+    rows = [
+        ("directory", directory),
+        (
+            "figure",
+            (manifest or {}).get("command", {}).get("which", "(no manifest)"),
+        ),
+        ("journaled cells", len(entries)),
+        ("quarantined cells", len(failures)),
+    ]
+    print(format_table(["campaign", "value"], rows))
+    for digest, record in sorted(failures.items()):
+        print(
+            f"  failed {digest[:12]}: [{record.get('kind')}] "
+            f"{record.get('error')} after {record.get('attempts')} attempt(s)"
+        )
+    return 0
+
+
+def _campaign_resume(directory: str, jobs: int, chart: bool) -> int:
+    from repro.campaign.journal import CampaignJournal
+
+    journal = CampaignJournal(directory)
+    manifest = journal.read_manifest()
+    if manifest is None:
+        print(
+            f"no manifest in {directory}: not a campaign directory "
+            "(start one with 'figure --campaign-dir')",
+            file=sys.stderr,
+        )
+        return 1
+    command = manifest.get("command", {})
+    if command.get("kind") != "figure" or command.get("which") not in _FIGURES:
+        print(f"unsupported campaign manifest: {command}", file=sys.stderr)
+        return 1
+    return _run_figure(command["which"], jobs, directory, chart)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -307,12 +417,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
     if args.command == "figure":
-        result = _FIGURES[args.which](args.jobs)
-        print(result.to_table())
-        if args.chart:
-            print()
-            print(result.to_chart())
-        return 0
+        return _run_figure(args.which, args.jobs, args.campaign_dir, args.chart)
+    if args.command == "campaign":
+        if args.campaign_command == "status":
+            return _campaign_status(args.dir)
+        return _campaign_resume(args.dir, args.jobs, args.chart)
     return 1  # pragma: no cover - argparse enforces choices
 
 

@@ -19,8 +19,8 @@ Layered below :mod:`repro.lint.cli`:
 * :mod:`~repro.lint.analysis.ownership` — the interprocedural
   ownership/escape model: per-attr owners, param capture summaries,
   shared-object detection (--ownership-report).
-* :mod:`~repro.lint.analysis.concurrency_rules` — the six
-  concurrency-safety rules (REP300–REP305) over the shared
+* :mod:`~repro.lint.analysis.concurrency_rules` — the seven
+  concurrency-safety rules (REP300–REP306) over the shared
   :class:`ConcurrencyContext`.
 * :mod:`~repro.lint.analysis.engine` — orchestration + suppression/config
   filtering, producing ordinary :class:`~repro.lint.findings.Finding`\\ s,

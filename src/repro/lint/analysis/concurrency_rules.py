@@ -1,4 +1,4 @@
-"""The concurrency-safety rule family, REP300–REP305.
+"""The concurrency-safety rule family, REP300–REP306.
 
 Where REP200–REP205 police the *declared architecture*, these rules
 police the property the ROADMAP's sharding and asyncio items actually
@@ -20,14 +20,17 @@ REP304    wall-clock/blocking call reachable from protocol-layer code
           (would stall a cooperative asyncio backend)
 REP305    set iteration order escaping into send/schedule through a
           call chain (the interprocedural REP205)
+REP306    non-atomic write (bare ``open(..., "w")``/``json.dump`` with
+          no rename in scope) in a declared durable module
 ========  ==============================================================
 
-All six share one :class:`ConcurrencyContext` wrapping the
+All seven share one :class:`ConcurrencyContext` wrapping the
 :class:`~.arch_rules.ArchContext` — the ownership model is built once
 per analysis run.  With no declared layer map the per-node closure is
 still computed (loop-seeded), so REP300/REP301/REP302/REP303/REP305
 work standalone; REP304 needs ``confined`` layers and is inert without
-them, exactly like REP201.
+them, exactly like REP201, and REP306 needs the
+``[tool.repro-lint.durable]`` module registry.
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ from typing import Iterable, List, Optional, Set
 from ..config import LintConfig
 from .arch_rules import ArchContext, OrderedEmissionRule
 from .effects import BLOCKING, NET_SEND, SIM_SCHEDULE, WALL_CLOCK, resolve_call_target
-from .model import ClassInfo, FunctionInfo, ModuleInfo, Project
+from .model import ClassInfo, FunctionInfo, ModuleInfo, Project, dotted_parts
 from .ownership import (
     BOUNDARY_ATTRS,
     BOUNDARY_SEND_ATTRS,
@@ -638,6 +641,146 @@ class ChainedEmissionRule(ConcurrencyRule):
         return None
 
 
+class NonAtomicWriteRule(ConcurrencyRule):
+    """REP306: durable artifacts are written via write-then-rename.
+
+    The registry of durable modules lives in ``[tool.repro-lint.durable]``
+    (path or dotted-name fnmatch patterns); without it the rule is inert.
+    A write call (``open`` in a ``w``/``a``/``x`` mode, ``.write_text``/
+    ``.write_bytes``, ``json.dump``/``pickle.dump``) inside a durable
+    module must share its scope — the enclosing function, or the module
+    body for top-level code — with a rename (``os.replace``/``os.rename``/
+    ``shutil.move`` or a one-argument ``.replace(...)``/``.rename(...)``):
+    the write-to-temp-then-rename idiom that makes a ``kill -9`` mid-write
+    leave either the old artifact or the new one, never a torn file.
+    """
+
+    code = "REP306"
+    name = "non-atomic-write"
+    summary = (
+        "file written in a declared durable module with no rename in the "
+        "same scope; a crash mid-write leaves a torn artifact — write to "
+        "a temporary path and os.replace() it into place"
+    )
+
+    _OPEN_FUNCS = frozenset({"open", "io.open"})
+    _WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+    _DUMP_FUNCS = frozenset({"json.dump", "pickle.dump", "marshal.dump"})
+    _RENAME_FUNCS = frozenset({"os.replace", "os.rename", "shutil.move"})
+    _RENAME_METHODS = frozenset({"replace", "rename"})
+    _WRITE_MODES = "wax"
+
+    def run_concurrency(self, ctx: ConcurrencyContext, add: AddFn) -> None:
+        durable = ctx.config.durable
+        if not durable.modules:
+            return
+        for name in sorted(ctx.project.modules):
+            module = ctx.project.modules[name]
+            if durable.is_durable(module.rel, module.name):
+                self._scan_scope(module, list(module.tree.body), add)
+
+    # -- scope analysis -------------------------------------------------
+    def _scan_scope(
+        self, module: ModuleInfo, body: List[ast.AST], add: AddFn
+    ) -> None:
+        """Check one scope's statements; recurse into nested functions.
+
+        A function containing both the write and the rename (the atomic
+        helper itself) is legal; a bare write whose rename lives in some
+        *other* scope is exactly the torn-artifact hazard REP306 exists
+        to flag, so scopes are judged independently.
+        """
+        writes: List[tuple] = []
+        renamed = False
+        stack = list(body)
+        nested: List[ast.AST] = []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                nested.append(node)
+                continue
+            if isinstance(node, ast.Call):
+                what = self._write_kind(module, node)
+                if what is not None:
+                    writes.append((node, what))
+                if self._is_rename(module, node):
+                    renamed = True
+            stack.extend(ast.iter_child_nodes(node))
+        if not renamed:
+            for call, what in writes:
+                add(
+                    module,
+                    call,
+                    self.code,
+                    f"{module.name} is a declared durable module but {what} "
+                    "has no os.replace/rename in its scope; a crash "
+                    "mid-write leaves a torn artifact on disk — write the "
+                    "full payload to a temporary path and atomically "
+                    "rename it into place",
+                )
+        for fn in nested:
+            fn_body = fn.body if isinstance(fn.body, list) else [fn.body]
+            self._scan_scope(module, list(fn_body), add)
+
+    # -- call classification --------------------------------------------
+    @staticmethod
+    def _resolve(module: ModuleInfo, node: ast.expr) -> Optional[str]:
+        parts = dotted_parts(node)
+        if not parts:
+            return None
+        head = module.imports.get(parts[0], parts[0])
+        return ".".join([head, *parts[1:]])
+
+    def _write_kind(
+        self, module: ModuleInfo, node: ast.Call
+    ) -> Optional[str]:
+        func = node.func
+        target = self._resolve(module, func)
+        is_open_func = target in self._OPEN_FUNCS
+        is_open_method = (
+            not is_open_func
+            and isinstance(func, ast.Attribute)
+            and func.attr == "open"
+        )
+        if is_open_func or is_open_method:
+            # builtin open(path, mode); Path.open(mode) has no path arg.
+            mode = self._literal_mode(node, 0 if is_open_method else 1)
+            if mode is not None and mode[:1] in self._WRITE_MODES:
+                return f'open(..., "{mode}")'
+            return None
+        if isinstance(func, ast.Attribute) and func.attr in self._WRITE_METHODS:
+            return f".{func.attr}(...)"
+        if target in self._DUMP_FUNCS:
+            return f"{target}(...)"
+        return None
+
+    @staticmethod
+    def _literal_mode(node: ast.Call, index: int) -> Optional[str]:
+        mode: Optional[ast.expr] = (
+            node.args[index] if len(node.args) > index else None
+        )
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+    def _is_rename(self, module: ModuleInfo, node: ast.Call) -> bool:
+        if self._resolve(module, node.func) in self._RENAME_FUNCS:
+            return True
+        func = node.func
+        # Path.replace(target)/Path.rename(target) take exactly one
+        # argument; str.replace(old, new) takes two, so it never counts.
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._RENAME_METHODS
+            and len(node.args) == 1
+            and not node.keywords
+        )
+
+
 CONCURRENCY_RULES: List[ConcurrencyRule] = [
     NodeAliasRule(),
     SharedMutationRule(),
@@ -645,6 +788,7 @@ CONCURRENCY_RULES: List[ConcurrencyRule] = [
     PayloadClosureRule(),
     BlockingReachabilityRule(),
     ChainedEmissionRule(),
+    NonAtomicWriteRule(),
 ]
 
 

@@ -50,7 +50,7 @@ def run_analysis(
     enabled_for: EnabledFn,
     config: Optional[LintConfig] = None,
 ) -> List[Finding]:
-    """Run REP100–REP105, REP200–REP205, and REP300–REP305 over
+    """Run REP100–REP105, REP200–REP205, and REP300–REP306 over
     ``files`` and return suppression-filtered findings sorted in the
     standard order."""
     if config is None:

@@ -11,7 +11,7 @@
 Exit status: **0** clean, **1** findings, **2** errors (unreadable or
 syntactically-invalid files, bad arguments).
 
-The whole-program analysis (REP100–REP105, REP200–REP205, REP300–REP305)
+The whole-program analysis (REP100–REP105, REP200–REP205, REP300–REP306)
 runs when ``--analysis`` is given, when ``analysis = true`` is set in
 ``[tool.repro-lint]``, or when one of its codes is explicitly selected;
 ``--no-analysis`` always wins.
@@ -203,7 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
             "AST-based determinism & protocol-invariant linter for the "
             "epidemic pub-sub reproduction (per-file rules REP001-REP007; "
             "whole-program rules REP100-REP105, architecture rules "
-            "REP200-REP205, and concurrency-safety rules REP300-REP305 "
+            "REP200-REP205, and concurrency-safety rules REP300-REP306 "
             "via --analysis)"
         ),
     )

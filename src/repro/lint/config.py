@@ -42,6 +42,12 @@ Recognised keys::
         "EventIdRegistry",                     # fnmatch over qualname, bare
     ]                                          # name, and Storer.attr homes
 
+    [tool.repro-lint.durable]              # REP306 durable-module registry
+    modules = [                            # files whose on-disk artifacts
+        "src/repro/campaign/*",            # must survive a crash mid-write;
+        "repro.campaign.*",                # path or dotted-name fnmatch
+    ]
+
 Paths in patterns are matched against the file's path relative to the
 directory containing ``pyproject.toml`` (the *config root*), in POSIX form.
 A file *outside* the config root has no such relative form and is matched
@@ -73,6 +79,7 @@ __all__ = [
     "LayersConfig",
     "SlotsConfig",
     "OwnershipConfig",
+    "DurableConfig",
     "load_config",
     "find_pyproject",
 ]
@@ -183,6 +190,27 @@ class OwnershipConfig:
 
 
 @dataclass(frozen=True)
+class DurableConfig:
+    """``[tool.repro-lint.durable]``: the REP306 durable-module registry.
+
+    ``modules`` holds fnmatch patterns naming the modules whose on-disk
+    artifacts must survive a crash mid-write (journals, manifests,
+    checkpoints).  Patterns match both the file's root-relative POSIX
+    path (``src/repro/campaign/*``) and its dotted module name
+    (``repro.campaign.*``).  An empty list leaves REP306 inert.
+    """
+
+    modules: Tuple[str, ...] = ()
+
+    def is_durable(self, *names: str) -> bool:
+        return any(
+            fnmatch.fnmatch(name, pattern)
+            for name in names
+            for pattern in self.modules
+        )
+
+
+@dataclass(frozen=True)
 class LintConfig:
     """Resolved linter configuration."""
 
@@ -205,6 +233,8 @@ class LintConfig:
     rng_streams: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
     #: REP301 declared shared services.
     ownership: OwnershipConfig = field(default_factory=OwnershipConfig)
+    #: REP306 registry; empty ``modules`` leaves the rule inert.
+    durable: DurableConfig = field(default_factory=DurableConfig)
 
     def rel_path(self, path: Path) -> str:
         """``path`` relative to the config root, in POSIX form.
@@ -303,6 +333,10 @@ def load_config(pyproject: Path) -> LintConfig:
             str(p) for p in ownership_table.get("shared-services", ())
         )
     )
+    durable_table = table.get("durable", {})
+    durable = DurableConfig(
+        modules=tuple(str(p) for p in durable_table.get("modules", ()))
+    )
     return LintConfig(
         root=pyproject.parent,
         exclude=tuple(table.get("exclude", ())),
@@ -315,6 +349,7 @@ def load_config(pyproject: Path) -> LintConfig:
         slots=slots,
         rng_streams=rng_streams,
         ownership=ownership,
+        durable=durable,
     )
 
 

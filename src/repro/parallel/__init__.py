@@ -14,9 +14,18 @@ global state, no wall-clock reads, no hash-randomized iteration on the
 result path), both produce **bit-identical** results: ``jobs=4`` and
 ``jobs=1`` differ only in ``RunResult.wall_clock_seconds``.  The tests in
 ``tests/parallel/`` assert exactly that.
+
+Failed cells surface as structured :class:`CellFailure` records inside a
+:class:`CellFailureError` that carries the ordered partial results --
+one bad cell no longer destroys its completed siblings.  For long
+campaigns, :mod:`repro.campaign` builds journaled, resumable execution
+with worker-failure recovery on top of this layer (``map_scenarios``
+routes there when given ``campaign_dir=``).
 """
 
 from repro.parallel.executor import (
+    CellFailure,
+    CellFailureError,
     ExperimentExecutor,
     ProcessExecutor,
     SerialExecutor,
@@ -26,6 +35,8 @@ from repro.parallel.executor import (
 )
 
 __all__ = [
+    "CellFailure",
+    "CellFailureError",
     "ExperimentExecutor",
     "ProcessExecutor",
     "SerialExecutor",

@@ -20,15 +20,19 @@ from __future__ import annotations
 
 import logging
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Callable,
     Iterable,
     List,
+    Optional,
     Sequence,
     TypeVar,
     Union,
+    cast,
 )
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
@@ -41,6 +45,8 @@ R = TypeVar("R")
 _log = logging.getLogger(__name__)
 
 __all__ = [
+    "CellFailure",
+    "CellFailureError",
     "ExperimentExecutor",
     "SerialExecutor",
     "ProcessExecutor",
@@ -48,6 +54,52 @@ __all__ = [
     "get_executor",
     "map_scenarios",
 ]
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured record of one cell that failed to produce a result.
+
+    Replaces the old all-or-nothing failure mode where the first worker
+    exception out of ``pool.map`` destroyed every completed sibling
+    result: failures are now first-class data that travel alongside the
+    partial result list, so callers (and the campaign quarantine report)
+    can account for every cell.
+    """
+
+    #: Position of the failed item in the submitted sequence.
+    index: int
+    #: "exception" (fn raised), "worker-crash" (process died mid-cell),
+    #: or "timeout" (exceeded the resilient executor's per-cell deadline).
+    kind: str
+    #: ``TypeName: message`` of the final error observed.
+    error: str
+    #: Execution attempts consumed (1 for the plain process executor;
+    #: the resilient executor counts its retries here).
+    attempts: int = 1
+
+
+class CellFailureError(Exception):
+    """Raised when a fan-out finishes with one or more failed cells.
+
+    Carries the full ordered partial-result list (``None`` at failed
+    slots) plus one :class:`CellFailure` per failed cell -- nothing that
+    completed is thrown away.
+    """
+
+    def __init__(self, failures: Sequence[CellFailure], results: Sequence) -> None:
+        self.failures = list(failures)
+        self.results = list(results)
+        completed = sum(1 for r in self.results if r is not None)
+        detail = "; ".join(
+            f"cell {f.index} [{f.kind}] {f.error}" for f in self.failures[:3]
+        )
+        if len(self.failures) > 3:
+            detail += f"; ... {len(self.failures) - 3} more"
+        super().__init__(
+            f"{len(self.failures)} of {len(self.results)} cells failed "
+            f"({completed} completed): {detail}"
+        )
 
 
 class ExperimentExecutor:
@@ -97,11 +149,47 @@ class ProcessExecutor(ExperimentExecutor):
         if not items:
             return []
         workers = min(self.jobs, len(items))
+        results: List[Optional[R]] = [None] * len(items)
+        done = [False] * len(items)
+        failures: List[CellFailure] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            # Executor.map yields results in submission order regardless of
-            # completion order; chunksize=1 keeps scheduling granular for
-            # unevenly sized cells (a slow algorithm next to a fast one).
-            return list(pool.map(fn, items, chunksize=1))
+            # One future per item (rather than pool.map) so each cell's
+            # outcome is individually observable: a raising or crashed
+            # cell becomes a CellFailure instead of destroying the whole
+            # ordered result list.  Per-item submission also keeps
+            # scheduling granular for unevenly sized cells.
+            futures = {
+                pool.submit(fn, item): index for index, item in enumerate(items)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                    done[index] = True
+                except BrokenProcessPool as exc:
+                    # A dead worker poisons every in-flight future with
+                    # this same exception; each affected cell gets its
+                    # own worker-crash record.
+                    failures.append(
+                        CellFailure(
+                            index=index,
+                            kind="worker-crash",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                except Exception as exc:
+                    failures.append(
+                        CellFailure(
+                            index=index,
+                            kind="exception",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+        if failures:
+            failures.sort(key=lambda failure: failure.index)
+            raise CellFailureError(failures, results)
+        assert all(done), "executor lost track of a cell"
+        return cast(List[R], results)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ProcessExecutor jobs={self.jobs}>"
@@ -162,13 +250,28 @@ def get_executor(
 
 
 def map_scenarios(
-    configs: "Iterable[SimulationConfig]", jobs: JobsSpec = None
+    configs: "Iterable[SimulationConfig]",
+    jobs: JobsSpec = None,
+    campaign_dir: Union[str, "os.PathLike[str]", None] = None,
 ) -> "List[RunResult]":
     """Run :func:`~repro.scenarios.runner.run_scenario` over ``configs``.
 
     The workhorse behind every ``jobs=`` parameter in the scenario layer:
     results come back in config order, one :class:`RunResult` each.
+
+    With ``campaign_dir`` set, execution is journaled and resumable: every
+    completed cell is persisted there atomically, cells already journaled
+    by an earlier (possibly killed) run are skipped, and worker crashes /
+    hangs are retried with backoff instead of aborting the sweep (see
+    :mod:`repro.campaign`).  Results are bit-identical either way.
     """
     from repro.scenarios.runner import run_scenario
 
-    return get_executor(jobs).map(run_scenario, list(configs))
+    configs = list(configs)
+    if campaign_dir is not None:
+        from repro.campaign.runtime import run_campaign
+
+        outcome = run_campaign(configs, campaign_dir, jobs=jobs)
+        outcome.raise_on_failures()
+        return cast("List[RunResult]", outcome.results)
+    return get_executor(jobs).map(run_scenario, configs)

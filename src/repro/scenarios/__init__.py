@@ -8,7 +8,14 @@
   returning a :class:`~repro.scenarios.results.RunResult`;
 * :mod:`~repro.scenarios.experiments` -- the canned experiment definitions
   behind every figure-reproduction benchmark;
-* :mod:`~repro.scenarios.sweep` -- parameter-sweep helpers.
+* :mod:`~repro.scenarios.sweep` -- parameter-sweep helpers;
+* :mod:`~repro.scenarios.serialize` -- exact JSON round-trip for configs
+  and results (the campaign journal's encoding).
+
+Every multi-cell entry point (``sweep``, ``sweep_algorithms``,
+``run_many``, ``run_replications``, the ``fig*`` experiments) accepts
+``campaign_dir=`` for journaled, crash-resumable execution -- see
+:mod:`repro.campaign`.
 """
 
 from repro.scenarios.config import SimulationConfig

@@ -173,6 +173,7 @@ def _run_curves(
     apply_x: Callable[[SimulationConfig], SimulationConfig],
     metric: Callable[[RunResult], float],
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Run ``algorithms`` x ``x_values`` and collect ``metric`` curves.
 
@@ -187,7 +188,9 @@ def _run_curves(
         for algorithm in algorithms
         for x in x_values
     ]
-    run_results = map_scenarios([config for _, config in cells], jobs=jobs)
+    run_results = map_scenarios(
+        [config for _, config in cells], jobs=jobs, campaign_dir=campaign_dir
+    )
     grouped: Dict[str, List[RunResult]] = {a: [] for a in algorithms}
     for (algorithm, _config), run in zip(cells, run_results):
         grouped[algorithm].append(run)
@@ -210,6 +213,7 @@ def fig3a_lossy_delivery(
     algorithms: Sequence[str] = DELIVERY_ALGORITHMS,
     seed: int = 42,
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Delivery rate per algorithm on a stable topology with lossy links.
 
@@ -228,7 +232,7 @@ def fig3a_lossy_delivery(
         base_config(seed=seed).replace(algorithm=algorithm, error_rate=error_rate)
         for algorithm in algorithms
     ]
-    runs = map_scenarios(configs, jobs=jobs)
+    runs = map_scenarios(configs, jobs=jobs, campaign_dir=campaign_dir)
     result.curves["delivery_rate"] = [run.delivery_rate for run in runs]
     result.results["delivery_rate"] = runs
     return result
@@ -242,6 +246,7 @@ def fig3b_reconfiguration(
     algorithms: Sequence[str] = DELIVERY_ALGORITHMS,
     seed: int = 42,
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Delivery with fully reliable links but a reconfiguring overlay.
 
@@ -264,7 +269,7 @@ def fig3b_reconfiguration(
         )
         for algorithm in algorithms
     ]
-    runs = map_scenarios(configs, jobs=jobs)
+    runs = map_scenarios(configs, jobs=jobs, campaign_dir=campaign_dir)
     minima = []
     for config, run in zip(configs, runs):
         window = run.series.clipped(
@@ -285,6 +290,7 @@ def fig4_buffer_sweep(
     paper_betas: Sequence[int] = (500, 1000, 1500, 2500, 4000),
     seed: int = 42,
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Delivery vs. buffer size β (paper sweeps 500..4000)."""
     base = base_config(seed=seed)
@@ -300,6 +306,7 @@ def fig4_buffer_sweep(
         ),
         _delivery,
         jobs=jobs,
+        campaign_dir=campaign_dir,
     )
 
 
@@ -308,6 +315,7 @@ def fig4_interval_sweep(
     intervals: Sequence[float] = (0.01, 0.02, 0.03, 0.045, 0.055),
     seed: int = 42,
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Delivery vs. gossip interval T (paper sweeps 0.01..0.055 s)."""
     base = base_config(seed=seed)
@@ -321,6 +329,7 @@ def fig4_interval_sweep(
         lambda config, interval: config.replace(gossip_interval=interval),
         _delivery,
         jobs=jobs,
+        campaign_dir=campaign_dir,
     )
 
 
@@ -332,6 +341,7 @@ def fig5_interval_buffer_grid(
     intervals: Sequence[float] = (0.01, 0.02, 0.03, 0.045, 0.055),
     seed: int = 42,
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Combined pull: delivery vs T, one curve per β."""
     base = base_config(seed=seed).replace(algorithm="combined-pull")
@@ -348,7 +358,9 @@ def fig5_interval_buffer_grid(
         for beta in paper_betas
         for interval in intervals
     ]
-    run_results = map_scenarios([config for _, config in cells], jobs=jobs)
+    run_results = map_scenarios(
+        [config for _, config in cells], jobs=jobs, campaign_dir=campaign_dir
+    )
     for beta in paper_betas:
         runs = [
             run for (cell_beta, _), run in zip(cells, run_results)
@@ -367,6 +379,7 @@ def fig6_scalability(
     sizes: Optional[Sequence[int]] = None,
     seed: int = 42,
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Delivery vs. N, with β scaled linearly so persistence stays ~4 s.
 
@@ -391,6 +404,7 @@ def fig6_scalability(
         apply_n,
         _delivery,
         jobs=jobs,
+        campaign_dir=campaign_dir,
     )
 
 
@@ -401,6 +415,7 @@ def fig7_receivers_per_event(
     pi_values: Sequence[int] = (1, 2, 5, 10, 15, 20, 25, 30),
     seed: int = 42,
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Mean number of dispatchers receiving one event as πmax grows.
 
@@ -429,7 +444,9 @@ def fig7_receivers_per_event(
         list(pi_values),
     )
     runs = map_scenarios(
-        [base.replace(pi_max=pi_max) for pi_max in pi_values], jobs=jobs
+        [base.replace(pi_max=pi_max) for pi_max in pi_values],
+        jobs=jobs,
+        campaign_dir=campaign_dir,
     )
     result.curves["receivers"] = [run.receivers_per_event for run in runs]
     result.results["receivers"] = runs
@@ -446,6 +463,7 @@ def fig8_patterns_delivery(
     seed: int = 42,
     paper_beta: Optional[int] = None,
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Delivery vs. πmax (paper: both charts derived with β = 4000).
 
@@ -479,6 +497,7 @@ def fig8_patterns_delivery(
         lambda config, pi_max: config.replace(pi_max=pi_max),
         _delivery,
         jobs=jobs,
+        campaign_dir=campaign_dir,
     )
 
 
@@ -490,6 +509,7 @@ def fig9a_overhead_scale(
     sizes: Optional[Sequence[int]] = None,
     seed: int = 42,
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Gossip msgs/dispatcher (absolute) and gossip/event ratio vs N."""
     if sizes is None:
@@ -508,7 +528,9 @@ def fig9a_overhead_scale(
         for algorithm in algorithms
         for n in sizes
     ]
-    run_results = map_scenarios([config for _, config in cells], jobs=jobs)
+    run_results = map_scenarios(
+        [config for _, config in cells], jobs=jobs, campaign_dir=campaign_dir
+    )
     for algorithm in algorithms:
         runs = [
             run for (cell_algo, _), run in zip(cells, run_results)
@@ -529,6 +551,7 @@ def fig9b_overhead_patterns(
     pi_values: Sequence[int] = (1, 2, 5, 10, 20, 30),
     seed: int = 42,
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Gossip msgs/dispatcher and gossip/event ratio vs πmax."""
     base = base_config(seed=seed)
@@ -543,7 +566,9 @@ def fig9b_overhead_patterns(
         for algorithm in algorithms
         for pi_max in pi_values
     ]
-    run_results = map_scenarios([config for _, config in cells], jobs=jobs)
+    run_results = map_scenarios(
+        [config for _, config in cells], jobs=jobs, campaign_dir=campaign_dir
+    )
     for algorithm in algorithms:
         runs = [
             run for (cell_algo, _), run in zip(cells, run_results)
@@ -568,6 +593,7 @@ def fig10_overhead_error_rate(
     error_rates: Sequence[float] = (0.01, 0.03, 0.05, 0.08, 0.1),
     seed: int = 42,
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Gossip msgs/dispatcher vs ε.
 
@@ -586,6 +612,7 @@ def fig10_overhead_error_rate(
         lambda config, eps: config.replace(error_rate=eps),
         lambda run: run.gossip_per_dispatcher,
         jobs=jobs,
+        campaign_dir=campaign_dir,
     )
 
 
@@ -596,6 +623,7 @@ def fig_scalability(
     sizes: Optional[Sequence[int]] = None,
     algorithm: str = "combined-pull",
     seed: int = 1,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Delivery, overhead, wall time and peak RSS as N grows to 10⁵.
 
@@ -616,6 +644,11 @@ def fig_scalability(
     -- RSS grows with N, hence each reading is, to first order, the peak
     of its own point rather than a leftover from a smaller one.  Wall
     time is measured around each run individually.
+
+    ``campaign_dir`` journals each point as it completes (with its wall
+    and RSS readings attached as ``extra``), so a killed scale sweep --
+    these are the expensive ones -- resumes from the largest completed N
+    with the original measurements intact.
     """
     if sizes is None:
         sizes = (
@@ -636,6 +669,15 @@ def fig_scalability(
         "N",
         list(sizes),
     )
+    journal = None
+    journaled = {}
+    if campaign_dir is not None:
+        from repro.campaign.journal import CampaignJournal
+
+        journal = CampaignJournal(campaign_dir)
+        journal.ensure()
+        journaled = journal.load()
+
     runs: List[RunResult] = []
     walls: List[float] = []
     peaks_mb: List[float] = []
@@ -656,6 +698,20 @@ def fig_scalability(
             workload_model="aggregate",
             seed=seed,
         )
+        if journal is not None:
+            from repro.scenarios.serialize import config_digest
+
+            digest = config_digest(config)
+            entry = journaled.get(digest)
+            if entry is not None:
+                # Resumed point: restore the original process's wall and
+                # RSS readings (this process's high-water mark says
+                # nothing about a run it never executed).
+                extra = entry.extra or {}
+                runs.append(entry.result)
+                walls.append(extra.get("wall_seconds", 0.0))
+                peaks_mb.append(extra.get("peak_rss_mb", 0.0))
+                continue
         # Wall-clock reads time the run for reporting only; nothing feeds
         # back into simulation state.
         start = _time.perf_counter()  # repro-lint: disable=REP002
@@ -665,6 +721,13 @@ def fig_scalability(
         if _sys.platform == "darwin":  # pragma: no cover - bytes there
             peak_kb //= 1024
         peaks_mb.append(round(peak_kb / 1024, 1))
+        if journal is not None:
+            journal.record(
+                runs[-1],
+                extra={"wall_seconds": walls[-1], "peak_rss_mb": peaks_mb[-1]},
+            )
+    if journal is not None:
+        journal.compact()
     result.curves["delivery_rate"] = [run.delivery_rate for run in runs]
     result.curves["messages_per_event"] = [
         round(
@@ -692,6 +755,7 @@ def figX_churn_delivery(
     error_rate: float = 0.05,
     seed: int = 42,
     jobs=None,
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Delivery vs. Poisson node-churn rate (beyond-the-paper extension).
 
@@ -730,4 +794,5 @@ def figX_churn_delivery(
         apply_rate,
         _delivery,
         jobs=jobs,
+        campaign_dir=campaign_dir,
     )

@@ -85,13 +85,15 @@ def run_replications(
     metric: Optional[Callable[[RunResult], float]] = lambda run: run.delivery_rate,
     metric_name: str = "delivery_rate",
     jobs: JobsSpec = None,
+    campaign_dir: Optional[str] = None,
 ) -> Union[ReplicationSummary, List[RunResult]]:
     """Run ``config`` once per seed and summarize ``metric``.
 
     Every other parameter -- topology style, workload rates, algorithm --
     is held fixed; only the master seed (and hence every random stream)
     changes.  ``jobs`` fans the seeds over worker processes (see
-    :mod:`repro.parallel`).
+    :mod:`repro.parallel`); ``campaign_dir`` journals each seed's run so
+    an interrupted replication study resumes (see :mod:`repro.campaign`).
 
     Pass ``metric=None`` to get the full per-seed :class:`RunResult` list
     (seed order) instead of a one-metric summary -- useful when several
@@ -100,7 +102,9 @@ def run_replications(
     if not seeds:
         raise ValueError("need at least one seed")
     results = map_scenarios(
-        [config.replace(seed=seed) for seed in seeds], jobs=jobs
+        [config.replace(seed=seed) for seed in seeds],
+        jobs=jobs,
+        campaign_dir=campaign_dir,
     )
     if metric is None:
         return results

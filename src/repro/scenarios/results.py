@@ -122,6 +122,29 @@ class RunResult:
             # baselines (satellite regression contract).
         ) + ((self.faults.as_tuple(),) if self.faults.any() else ())
 
+    def to_json(self) -> str:
+        """Canonical JSON encoding of every field (exact round-trip).
+
+        ``from_json(to_json())`` preserves :meth:`signature` byte for
+        byte -- including the conditional ``FaultStats`` element --
+        because Python's JSON floats round-trip exactly.  This is the
+        encoding the campaign journal persists.
+        """
+        import json
+
+        from repro.scenarios.serialize import result_to_dict
+
+        return json.dumps(result_to_dict(self), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        """Inverse of :meth:`to_json`; re-validates the embedded config."""
+        import json
+
+        from repro.scenarios.serialize import result_from_dict
+
+        return result_from_dict(json.loads(text))
+
     def summary_row(self) -> Dict[str, float]:
         """Compact dictionary for tables and EXPERIMENTS.md."""
         return {

@@ -27,11 +27,14 @@ def run_many(
     configs: Iterable[SimulationConfig],
     labels: Optional[Iterable[str]] = None,
     jobs: JobsSpec = None,
+    campaign_dir: Optional[str] = None,
 ) -> Dict[str, RunResult]:
     """Run several scenarios; keys are the given labels or run indexes.
 
     ``jobs`` selects the executor (see :mod:`repro.parallel`); insertion
     order of the returned dict always follows ``configs``.
+    ``campaign_dir`` makes the batch journaled and resumable (see
+    :mod:`repro.campaign`).
     """
     configs = list(configs)
     if labels is None:
@@ -42,5 +45,5 @@ def run_many(
             raise ValueError(
                 f"{len(configs)} configs but {len(keys)} labels"
             )
-    results = map_scenarios(configs, jobs=jobs)
+    results = map_scenarios(configs, jobs=jobs, campaign_dir=campaign_dir)
     return dict(zip(keys, results))

@@ -61,16 +61,18 @@ def sweep(
     values: Sequence[Any],
     derive: Optional[Callable[[SimulationConfig, Any], SimulationConfig]] = None,
     jobs: JobsSpec = None,
+    campaign_dir: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Run ``base`` once per value of ``field``.
 
     ``derive`` may adjust the config further per point (e.g. Fig 6 scales
     β together with N); it receives the config *after* the swept field is
     applied and returns the final config.  ``jobs`` selects the executor
-    (see :mod:`repro.parallel`).
+    (see :mod:`repro.parallel`); ``campaign_dir`` makes the sweep
+    journaled and resumable (see :mod:`repro.campaign`).
     """
     configs = _sweep_configs(base, field, values, derive)
-    results = map_scenarios(configs, jobs=jobs)
+    results = map_scenarios(configs, jobs=jobs, campaign_dir=campaign_dir)
     return [
         SweepPoint(value, config.algorithm, result)
         for value, config, result in zip(values, configs, results)
@@ -84,13 +86,15 @@ def sweep_algorithms(
     values: Sequence[Any] = (),
     derive: Optional[Callable[[SimulationConfig, Any], SimulationConfig]] = None,
     jobs: JobsSpec = None,
+    campaign_dir: Optional[str] = None,
 ) -> Dict[str, List[SweepPoint]]:
     """Cross a sweep with a set of algorithms: ``{algorithm: [points]}``.
 
     With no ``field`` each algorithm runs once at the base configuration
     (``x`` is then ``None``).  The *whole* cross product is fanned over
     ``jobs`` workers at once, so four algorithms saturate four cores even
-    when each sweeps only a few values.
+    when each sweeps only a few values.  ``campaign_dir`` makes the grid
+    journaled and resumable (see :mod:`repro.campaign`).
     """
     cells: List[Tuple[str, Any, SimulationConfig]] = []
     for algorithm in algorithms:
@@ -102,7 +106,9 @@ def sweep_algorithms(
                 values, _sweep_configs(algo_base, field, values, derive)
             ):
                 cells.append((algorithm, value, config))
-    run_results = map_scenarios([config for _, _, config in cells], jobs=jobs)
+    run_results = map_scenarios(
+        [config for _, _, config in cells], jobs=jobs, campaign_dir=campaign_dir
+    )
     results: Dict[str, List[SweepPoint]] = {algorithm: [] for algorithm in algorithms}
     for (algorithm, value, config), result in zip(cells, run_results):
         results[algorithm].append(SweepPoint(value, config.algorithm, result))

@@ -1,0 +1,49 @@
+"""Shared tiny-cell fixtures for the campaign test suite.
+
+Campaign tests exercise journaling, retries, and resume -- not simulation
+fidelity -- so every cell is as small as the validator allows (~60 ms).
+The simulated *values* still matter: equivalence tests compare full
+``RunResult.signature()`` tuples against uninterrupted serial runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.runner import run_scenario
+
+
+def tiny_config(seed: int = 1, **overrides) -> SimulationConfig:
+    base = SimulationConfig(
+        n_dispatchers=12,
+        n_patterns=8,
+        pi_max=2,
+        publish_rate=25.0,
+        sim_time=1.5,
+        measure_start=0.3,
+        measure_end=1.2,
+        buffer_size=100,
+        error_rate=0.1,
+        seed=seed,
+    )
+    return base.replace(**overrides) if overrides else base
+
+
+def tiny_grid(n: int = 4) -> List[SimulationConfig]:
+    return [tiny_config(seed=seed) for seed in range(1, n + 1)]
+
+
+@pytest.fixture(scope="session")
+def tiny_result():
+    """One completed cell, shared by every journal/serialization test."""
+    return run_scenario(tiny_config())
+
+
+@pytest.fixture(scope="session")
+def reference_results():
+    """Uninterrupted in-process serial run of the 4-cell grid: the
+    ground truth every campaign equivalence test diffs against."""
+    return [run_scenario(config) for config in tiny_grid()]

@@ -1,0 +1,87 @@
+"""Mid-campaign SIGKILL + resume, end to end (subprocess integration).
+
+The in-process twin of CI's ``campaign-smoke`` job: a child process runs
+a journaled jobs=2 campaign, the parent SIGKILLs its whole process group
+the instant the journal holds a cell, then resumes serially and diffs
+every merged signature against an uninterrupted in-process run.  Configs
+cross the process boundary through the same serializer the journal uses,
+so parent and child provably sweep the same grid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.campaign.journal import CampaignJournal
+from repro.campaign.runtime import run_campaign
+from repro.scenarios.serialize import config_to_dict
+
+from tests.campaign.conftest import tiny_grid
+
+SRC = Path(__file__).parents[2] / "src"
+
+CHILD_SCRIPT = """
+import json, sys
+from repro.campaign.runtime import run_campaign
+from repro.scenarios.serialize import config_from_dict
+
+payload = json.loads(sys.argv[1])
+configs = [config_from_dict(data) for data in payload["configs"]]
+run_campaign(configs, payload["dir"], jobs=2)
+"""
+
+
+def _wait_for_first_cell(journal: CampaignJournal, timeout: float = 60.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        count = len(list(journal.cells_dir.glob("*.ndjson")))
+        if count:
+            return count
+        time.sleep(0.02)
+    return 0
+
+
+def test_sigkill_mid_campaign_resumes_bit_identical(tmp_path, reference_results):
+    configs = tiny_grid()
+    campaign_dir = tmp_path / "campaign"
+    journal = CampaignJournal(campaign_dir)
+    journal.ensure()
+
+    payload = json.dumps(
+        {
+            "configs": [config_to_dict(config) for config in configs],
+            "dir": str(campaign_dir),
+        }
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD_SCRIPT, payload],
+        env=env,
+        start_new_session=True,  # the kill must take the pool workers too
+    )
+    try:
+        journaled = _wait_for_first_cell(journal)
+    finally:
+        try:
+            os.killpg(child.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        child.wait()
+    assert journaled >= 1, "child journaled nothing before the timeout"
+
+    resumed = run_campaign(configs, campaign_dir)
+    report = resumed.report
+    assert report.skipped >= 1, "resume recovered nothing from the journal"
+    assert report.skipped + report.executed == len(configs)
+    assert report.failures == []
+    assert all(result is not None for result in resumed.results)
+    assert [r.signature() for r in resumed.results] == [
+        r.signature() for r in reference_results
+    ]

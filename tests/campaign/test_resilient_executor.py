@@ -1,0 +1,146 @@
+"""ResilientProcessExecutor + ChaosExecutor semantics on cheap cells.
+
+These tests use trivial picklable functions (not simulations) so each
+recovery path -- transient raise, worker SIGKILL, hang-past-deadline,
+quarantine -- is exercised in well under a second of real work.  The
+campaign-level equivalence against real simulation results lives in
+``test_campaign_runtime.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.chaos import ChaosError, ChaosEvent, ChaosExecutor
+from repro.campaign.executor import ResilientProcessExecutor
+from repro.parallel.executor import CellFailureError
+
+# Module-level so ProcessPoolExecutor can pickle it.
+def _triple(x):
+    return 3 * x
+
+
+def _sleep_briefly(x):
+    import time
+
+    time.sleep(0.05)
+    return x
+
+
+NO_BACKOFF = dict(backoff_base=0.0)
+
+
+class TestPlainMap:
+    def test_matches_serial_order(self):
+        executor = ResilientProcessExecutor(2)
+        assert executor.map(_triple, range(6)) == [0, 3, 6, 9, 12, 15]
+
+    def test_empty_items(self):
+        results, report = ResilientProcessExecutor(2).map_report(_triple, [])
+        assert results == []
+        assert report.retries == 0 and report.failures == []
+
+    def test_on_result_sees_every_cell(self):
+        seen = {}
+        executor = ResilientProcessExecutor(2)
+        results, report = executor.map_report(
+            _triple, range(5), on_result=lambda i, value: seen.__setitem__(i, value)
+        )
+        assert results == [0, 3, 6, 9, 12]
+        assert seen == {0: 0, 1: 3, 2: 6, 3: 9, 4: 12}
+        assert report.failures == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(jobs=0), dict(jobs=2, max_retries=-1), dict(jobs=2, cell_timeout=0.0)],
+    )
+    def test_constructor_validation(self, kwargs):
+        jobs = kwargs.pop("jobs")
+        with pytest.raises(ValueError):
+            ResilientProcessExecutor(jobs, **kwargs)
+
+
+class TestChaosRecovery:
+    def test_transient_raise_is_retried(self):
+        executor = ChaosExecutor(
+            2, [ChaosEvent(1, "raise", attempt=1)], **NO_BACKOFF
+        )
+        results, report = executor.map_report(_triple, range(4))
+        assert results == [0, 3, 6, 9]
+        assert report.retries == 1
+        assert report.worker_crashes == 0
+        assert report.failures == []
+
+    def test_killed_worker_triggers_pool_rebuild(self):
+        executor = ChaosExecutor(2, [ChaosEvent(0, "kill", attempt=1)], **NO_BACKOFF)
+        results, report = executor.map_report(_sleep_briefly, list(range(4)))
+        assert results == [0, 1, 2, 3]
+        assert report.worker_crashes >= 1
+        assert report.pool_rebuilds >= 1
+        assert report.failures == []
+
+    def test_hung_worker_is_reaped_by_deadline(self):
+        executor = ChaosExecutor(
+            2,
+            [ChaosEvent(1, "hang", attempt=1)],
+            cell_timeout=1.0,
+            **NO_BACKOFF,
+        )
+        results, report = executor.map_report(_triple, range(3))
+        assert results == [0, 3, 6]
+        assert report.timeouts == 1
+        assert report.retries >= 1
+        assert report.failures == []
+
+    def test_innocent_inflight_cells_are_not_charged(self):
+        # Cell 0 hangs; its pool-mates get resubmitted without an attempt
+        # charge, so nothing but the hung cell shows up in the report.
+        executor = ChaosExecutor(
+            3,
+            [ChaosEvent(0, "hang", attempt=1)],
+            cell_timeout=1.0,
+            max_retries=1,
+            **NO_BACKOFF,
+        )
+        results, report = executor.map_report(_sleep_briefly, list(range(6)))
+        assert results == [0, 1, 2, 3, 4, 5]
+        assert report.timeouts == 1
+        assert report.failures == []
+
+
+class TestQuarantine:
+    def test_exhausted_cell_is_quarantined_not_dropped(self):
+        # Cell 2 raises on every one of its 1 + max_retries = 3 attempts.
+        events = [ChaosEvent(2, "raise", attempt=a) for a in (1, 2, 3)]
+        executor = ChaosExecutor(2, events, max_retries=2, **NO_BACKOFF)
+        results, report = executor.map_report(_triple, range(5))
+        assert results == [0, 3, None, 9, 12]
+        assert [f.index for f in report.failures] == [2]
+        failure = report.failures[0]
+        assert failure.kind == "exception"
+        assert failure.attempts == 3
+        assert ChaosError.__name__ in failure.error
+
+    def test_map_raises_cell_failure_error_with_partials(self):
+        events = [ChaosEvent(0, "raise", attempt=a) for a in (1, 2)]
+        executor = ChaosExecutor(2, events, max_retries=1, **NO_BACKOFF)
+        with pytest.raises(CellFailureError) as excinfo:
+            executor.map(_triple, range(3))
+        error = excinfo.value
+        assert [f.index for f in error.failures] == [0]
+        assert error.results == [None, 3, 6]
+        assert "1 of 3 cells failed" in str(error)
+
+    def test_duplicate_chaos_event_is_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosExecutor(
+                2, [ChaosEvent(0, "raise"), ChaosEvent(0, "raise")]
+            )
+
+    def test_chaos_event_validation(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(0, "explode")
+        with pytest.raises(ValueError):
+            ChaosEvent(-1, "raise")
+        with pytest.raises(ValueError):
+            ChaosEvent(0, "raise", attempt=0)

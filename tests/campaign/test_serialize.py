@@ -1,0 +1,95 @@
+"""Satellite: the journal round-trip must preserve ``signature()`` exactly.
+
+``RunResult.signature()`` is the repo's byte-identity currency (frozen
+baselines, determinism tests, the campaign smoke).  The journal persists
+results as JSON, so these tests prove encode→text→decode is *exact* --
+including the conditional ``FaultStats`` element that only enters the
+signature when the fault layer fired -- and that the config digest is a
+stable content hash, since resume keys on it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.faults.loss import GilbertElliottConfig
+from repro.faults.plan import ChurnProcess, FaultPlan, scripted_crashes
+from repro.scenarios.results import RunResult
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.serialize import (
+    config_digest,
+    config_from_dict,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+
+from tests.campaign.conftest import tiny_config
+
+
+def faulted_config():
+    return tiny_config(
+        seed=7,
+        faults=FaultPlan(
+            crashes=scripted_crashes([2, 5], at=0.5, duration=0.3),
+            churn=ChurnProcess(rate=1.0, mean_downtime=0.2, start=0.4),
+            link_loss=GilbertElliottConfig.from_epsilon(0.05, mean_burst_length=4.0),
+        ),
+    )
+
+
+class TestConfigRoundTrip:
+    def test_plain_config_round_trips_exactly(self):
+        config = tiny_config()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_faulted_config_round_trips_exactly(self):
+        config = faulted_config()
+        decoded = config_from_dict(
+            json.loads(json.dumps(config_to_dict(config)))
+        )
+        assert decoded == config
+
+    def test_digest_is_content_not_identity(self):
+        assert config_digest(tiny_config()) == config_digest(tiny_config())
+        assert config_digest(tiny_config(seed=1)) != config_digest(
+            tiny_config(seed=2)
+        )
+
+    def test_digest_survives_round_trip(self):
+        config = faulted_config()
+        decoded = config_from_dict(config_to_dict(config))
+        assert config_digest(decoded) == config_digest(config)
+
+
+class TestResultRoundTrip:
+    def test_plain_result_signature_is_preserved(self, tiny_result):
+        text = json.dumps(result_to_dict(tiny_result))
+        decoded = result_from_dict(json.loads(text))
+        assert decoded.signature() == tiny_result.signature()
+
+    def test_faulted_result_signature_is_preserved(self):
+        result = run_scenario(faulted_config())
+        # The conditional element: faults fired, so the signature carries
+        # the FaultStats tuple -- the round-trip must keep it.
+        assert result.faults.any()
+        assert len(result.signature()) == len(
+            run_scenario(tiny_config()).signature()
+        ) + 1
+        decoded = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert decoded.faults.any()
+        assert decoded.signature() == result.signature()
+
+    def test_to_json_from_json_methods(self, tiny_result):
+        decoded = RunResult.from_json(tiny_result.to_json())
+        assert decoded.signature() == tiny_result.signature()
+        assert decoded.wall_clock_seconds == tiny_result.wall_clock_seconds
+
+    def test_corrupted_record_fails_loudly(self, tiny_result):
+        data = result_to_dict(tiny_result)
+        data["config"]["n_dispatchers"] = -3  # __post_init__ must reject
+        try:
+            result_from_dict(data)
+        except Exception:
+            return
+        raise AssertionError("corrupted journal record decoded silently")

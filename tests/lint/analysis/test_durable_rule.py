@@ -1,0 +1,106 @@
+"""REP306 — non-atomic writes in declared durable modules.
+
+``tests/lint/fixtures/durable/`` holds one bad module (four bare-write
+shapes: ``open(..., "w")`` positional and ``mode=`` keyword with a
+``json.dump``, ``.write_text``, and an append-mode ``Path.open``) and one
+good module (the write-to-temp-then-rename idiom via both ``os.replace``
+and ``Path.replace``, plus reads and a non-literal mode the rule must
+not guess about).  The registry lives in ``[tool.repro-lint.durable]``;
+these tests cover both dotted-name and path-style patterns, inertness
+without a registry, inline suppression, and the repo's own contract:
+``src/repro/campaign/`` is declared durable and ships REP306-clean.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.lint import lint_paths
+from repro.lint.config import DurableConfig, LintConfig, load_config
+
+FIXTURES = pathlib.Path(__file__).parents[1] / "fixtures" / "durable"
+REPO = pathlib.Path(__file__).parents[3]
+
+DURABLE_CONFIG = LintConfig(
+    root=FIXTURES, durable=DurableConfig(modules=("journal_*",))
+)
+
+
+def rep306_findings(config, *files):
+    result = lint_paths(
+        [FIXTURES / name for name in files], config, select=("REP306",)
+    )
+    assert result.errors == []
+    return result.findings
+
+
+class TestFires:
+    def test_every_bare_write_shape_is_flagged(self):
+        findings = rep306_findings(DURABLE_CONFIG, "journal_bad.py")
+        assert [f.code for f in findings] == ["REP306"] * 5
+        messages = "\n".join(f.message for f in findings)
+        # open(path, "w") twice, json.dump into it, .write_text, open("a").
+        assert messages.count('open(..., "w")') == 2
+        assert "json.dump(...)" in messages
+        assert ".write_text(...)" in messages
+        assert 'open(..., "a")' in messages
+
+    def test_path_style_pattern_matches_too(self):
+        config = LintConfig(
+            root=FIXTURES,
+            durable=DurableConfig(modules=("journal_bad.py",)),
+        )
+        assert rep306_findings(config, "journal_bad.py")
+        assert rep306_findings(config, "journal_good.py") == []
+
+
+class TestStaysQuiet:
+    def test_write_then_rename_idioms_are_clean(self):
+        assert rep306_findings(DURABLE_CONFIG, "journal_good.py") == []
+
+    def test_inert_without_durable_registry(self):
+        config = LintConfig(root=FIXTURES)
+        assert rep306_findings(config, "journal_bad.py") == []
+
+    def test_non_durable_module_is_not_judged(self):
+        config = LintConfig(
+            root=FIXTURES, durable=DurableConfig(modules=("other_*",))
+        )
+        assert rep306_findings(config, "journal_bad.py") == []
+
+    def test_inline_suppression_works(self, tmp_path):
+        target = tmp_path / "snapshot.py"
+        target.write_text(
+            "def save(path, text):\n"
+            "    with open(path, 'w') as handle:  "
+            "# repro-lint: disable=REP306\n"
+            "        handle.write(text)\n"
+        )
+        config = LintConfig(
+            root=tmp_path, durable=DurableConfig(modules=("*",))
+        )
+        result = lint_paths([target], config, select=("REP306",))
+        assert result.errors == []
+        assert result.findings == []
+
+
+class TestRepoContract:
+    def test_pyproject_declares_the_campaign_package_durable(self):
+        config = load_config(REPO / "pyproject.toml")
+        assert "src/repro/campaign/*" in config.durable.modules
+        assert config.durable.is_durable(
+            "src/repro/campaign/journal.py", "repro.campaign.journal"
+        )
+        assert not config.durable.is_durable(
+            "src/repro/scenarios/sweep.py", "repro.scenarios.sweep"
+        )
+
+    def test_campaign_package_is_rep306_clean(self):
+        config = load_config(REPO / "pyproject.toml")
+        result = lint_paths(
+            [REPO / "src" / "repro" / "campaign"], config, select=("REP306",)
+        )
+        assert result.errors == []
+        assert result.findings == [], "\n".join(
+            f.render() for f in result.findings
+        )

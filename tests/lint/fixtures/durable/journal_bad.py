@@ -1,0 +1,27 @@
+"""REP306 demonstrations: bare writes in a durable module.
+
+Every write below lands directly on its final path with no rename in
+the same scope, so a crash mid-write leaves a torn artifact.
+"""
+
+import json
+from pathlib import Path
+
+
+def save_manifest(path, payload):
+    with open(path, "w") as handle:
+        handle.write(payload)
+
+
+def dump_report(path, report):
+    with open(path, mode="w") as handle:
+        json.dump(report, handle)
+
+
+def write_checkpoint(path, text):
+    Path(path).write_text(text)
+
+
+def append_log(path, line):
+    with Path(path).open("a") as handle:
+        handle.write(line)

@@ -1,0 +1,33 @@
+"""REP306 clean cases: write-then-rename idioms and plain reads."""
+
+import json
+import os
+from pathlib import Path
+
+
+def atomic_write(path, text):
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_dump(path, payload):
+    tmp = Path(f"{path}.tmp")
+    with tmp.open("w") as handle:
+        json.dump(payload, handle)
+    tmp.replace(path)
+
+
+def load_manifest(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def reparse(path, mode):
+    # A non-literal mode cannot be judged syntactically; the rule stays
+    # quiet rather than guessing.
+    with open(path, mode) as handle:
+        return handle.read()

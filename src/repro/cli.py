@@ -3,9 +3,9 @@
 ::
 
     repro-pubsub run   [--algorithm X] [--error-rate E] [--n N] ...
-    repro-pubsub compare [--error-rate E] [--jobs N] ...
+    repro-pubsub compare [--error-rate E] [--jobs N] [--shards S] ...
     repro-pubsub figure {3a,3b,4-buffer,4-interval,5,6,7,8,9a,9b,10,churn} [--jobs N]
-                        [--campaign-dir DIR]
+                        [--shards S] [--campaign-dir DIR]
     repro-pubsub faults --injector {crash,churn,burst-loss,partition,combined} ...
     repro-pubsub campaign status DIR
     repro-pubsub campaign resume DIR [--jobs N]
@@ -66,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_arguments(compare_parser, with_algorithm=False)
     _add_jobs_argument(compare_parser)
+    _add_shards_argument(compare_parser)
 
     figure_parser = subparsers.add_parser(
         "figure", help="regenerate one of the paper's figures"
@@ -81,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true", help="also draw an ASCII chart"
     )
     _add_jobs_argument(figure_parser)
+    _add_shards_argument(figure_parser)
     figure_parser.add_argument(
         "--campaign-dir",
         default=None,
@@ -144,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true", help="also draw an ASCII chart"
     )
     _add_jobs_argument(resume_parser)
+    _add_shards_argument(resume_parser)
 
     subparsers.add_parser("list-algorithms", help="list recovery algorithms")
     return parser
@@ -179,6 +182,20 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         help=(
             "worker processes for independent scenario cells "
             "(1 = serial, 0 = all CPUs); results are identical either way"
+        ),
+    )
+
+
+def _add_shards_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "split each single run over this many shard workers "
+            "(byte-identical results; lossy cells switch to the per-edge "
+            "loss discipline, cells the sharded runtime cannot execute "
+            "fall back to serial -- see docs/PERFORMANCE.md)"
         ),
     )
 
@@ -289,7 +306,9 @@ _FIGURES = {
 }
 
 
-def _run_figure(which: str, jobs: int, campaign_dir, chart: bool) -> int:
+def _run_figure(
+    which: str, jobs: int, campaign_dir, chart: bool, shards: int = 1
+) -> int:
     """Shared body of ``figure`` and ``campaign resume``."""
     from repro.parallel.executor import CellFailureError
 
@@ -303,7 +322,9 @@ def _run_figure(which: str, jobs: int, campaign_dir, chart: bool) -> int:
             }
         )
     try:
-        result = _FIGURES[which](jobs=jobs, campaign_dir=campaign_dir)
+        result = _FIGURES[which](
+            jobs=jobs, campaign_dir=campaign_dir, shards=shards
+        )
     except CellFailureError as error:
         print(f"campaign incomplete: {error}", file=sys.stderr)
         print(
@@ -344,7 +365,7 @@ def _campaign_status(directory: str) -> int:
     return 0
 
 
-def _campaign_resume(directory: str, jobs: int, chart: bool) -> int:
+def _campaign_resume(directory: str, jobs: int, chart: bool, shards: int = 1) -> int:
     from repro.campaign.journal import CampaignJournal
 
     journal = CampaignJournal(directory)
@@ -360,7 +381,7 @@ def _campaign_resume(directory: str, jobs: int, chart: bool) -> int:
     if command.get("kind") != "figure" or command.get("which") not in _FIGURES:
         print(f"unsupported campaign manifest: {command}", file=sys.stderr)
         return 1
-    return _run_figure(command["which"], jobs, directory, chart)
+    return _run_figure(command["which"], jobs, directory, chart, shards)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -394,7 +415,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "compare":
         configs = [
-            _config_from_args(args, algorithm=algorithm)
+            experiments.shardify(
+                _config_from_args(args, algorithm=algorithm), args.shards
+            )
             for algorithm in PAPER_ALGORITHMS
         ]
         results = map_scenarios(configs, jobs=args.jobs)
@@ -417,11 +440,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
     if args.command == "figure":
-        return _run_figure(args.which, args.jobs, args.campaign_dir, args.chart)
+        return _run_figure(
+            args.which, args.jobs, args.campaign_dir, args.chart, args.shards
+        )
     if args.command == "campaign":
         if args.campaign_command == "status":
             return _campaign_status(args.dir)
-        return _campaign_resume(args.dir, args.jobs, args.chart)
+        return _campaign_resume(args.dir, args.jobs, args.chart, args.shards)
     return 1  # pragma: no cover - argparse enforces choices
 
 

@@ -66,6 +66,15 @@ class FaultInjector:
         The dedicated ``"faults"`` random stream.
     plan:
         What to inject.
+    locality:
+        Sharded runs replicate the injector on every shard so network state
+        (down nodes, cut links) and ``"faults"``-stream draws stay identical
+        everywhere, but a restarted node's timers must only be re-armed on
+        the shard that owns it.  ``locality[node_id]`` is that ownership
+        test; ``None`` (serial runs) re-arms unconditionally.  ``callbacks``
+        counts the injector's engine-event firings -- replicated on every
+        shard but single events in a serial run -- for the merged
+        ``sim_events_processed`` correction.
     """
 
     def __init__(
@@ -77,6 +86,7 @@ class FaultInjector:
         publishers: Sequence,
         rng: random.Random,
         plan: FaultPlan,
+        locality: Optional[Sequence[bool]] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -85,6 +95,8 @@ class FaultInjector:
         self.publishers = publishers
         self.rng = rng
         self.plan = plan
+        self.locality = locality
+        self.callbacks = 0
         self.stats = FaultStats()
         self._started = False
 
@@ -117,6 +129,11 @@ class FaultInjector:
     # Crashes
     # ------------------------------------------------------------------
     def _crash(self, node_id: int, duration: Optional[float]) -> None:
+        # ``callbacks`` tallies the four callbacks reachable under shard
+        # validation (scripted crashes/partitions and their restart/heal
+        # follow-ups); the churn/partition processes that would skew the
+        # tally inline-call these are forbidden in sharded configs.
+        self.callbacks += 1
         network = self.network
         if network.is_down(node_id):
             self.stats.crashes_skipped += 1
@@ -131,6 +148,7 @@ class FaultInjector:
             self.sim.schedule_call(duration, self._restart, node_id)
 
     def _restart(self, node_id: int) -> None:
+        self.callbacks += 1
         network = self.network
         if not network.is_down(node_id):
             return  # already restarted (defensive; plans should not overlap)
@@ -138,11 +156,15 @@ class FaultInjector:
         # Volatile buffers do not survive the crash...
         dispatcher.cache.clear()
         network.set_node_down(node_id, False)
+        # State wipes replay on every shard (replicas stay in lockstep);
+        # timers are re-armed only where the node actually runs.
+        local = self.locality is None or self.locality[node_id]
         if node_id < len(self.recoveries):
             recovery = self.recoveries[node_id]
             recovery.on_restart()
-            recovery.start()
-        if node_id < len(self.publishers):
+            if local:
+                recovery.start()
+        if local and node_id < len(self.publishers):
             self.publishers[node_id].start()
         self.stats.restarts += 1
 
@@ -167,6 +189,7 @@ class FaultInjector:
     def _partition(
         self, edge: Optional[Tuple[int, int]], duration: float
     ) -> None:
+        self.callbacks += 1
         network = self.network
         if edge is None:
             edges = network.edges()
@@ -212,6 +235,7 @@ class FaultInjector:
         ]
 
     def _heal(self, cut: Tuple[Tuple[int, int], ...]) -> None:
+        self.callbacks += 1
         network = self.network
         restored = 0
         for edge in cut:

@@ -1,0 +1,44 @@
+"""Deterministic multi-worker execution of a single simulation run.
+
+The REP300-series ownership analysis (``repro-lint --ownership-report``,
+DESIGN.md "Ownership model & partition seams") proved that per-node state
+is private, that every cross-node interaction flows through the declared
+network touchpoints, and that exactly two shared mutable services exist --
+the :class:`~repro.pubsub.pattern.PatternSpace` and
+:class:`~repro.pubsub.event.EventIdRegistry` interners.  This package
+cashes that proof in (ROADMAP item 2): one run is partitioned across
+workers and executed under a conservative-lookahead protocol, and the
+merged :class:`~repro.scenarios.results.RunResult` is byte-identical to
+the serial run's.
+
+Layout
+------
+``partition``
+    Overlay partitioner: balanced contiguous blocks with a greedy min-cut
+    refinement over the inter-partition links.
+``guard``
+    Startup drift guard: the replicate-per-shard decision is only sound
+    while the ownership contract still declares exactly those two shared
+    services.
+``context`` / ``seam`` / ``worker``
+    Per-shard runtime: the full-replica simulation, the cut-link/out-of-
+    band export hooks, and the (time, seq)-ordered import of serialized
+    seam messages.
+``runner`` / ``merge``
+    The synchronization loop (in-process and multi-process backends) and
+    the deterministic merge of per-shard partials into one result.
+"""
+
+from repro.shard.context import ShardContext
+from repro.shard.guard import assert_shared_service_contract
+from repro.shard.partition import PartitionPlan, partition_overlay
+from repro.shard.runner import ShardedRunner, run_sharded
+
+__all__ = [
+    "ShardContext",
+    "PartitionPlan",
+    "ShardedRunner",
+    "assert_shared_service_contract",
+    "partition_overlay",
+    "run_sharded",
+]

@@ -1,0 +1,54 @@
+"""Per-shard runtime context shared between the builder and the seam.
+
+A :class:`ShardContext` is handed to :class:`~repro.scenarios.builder.
+Simulation` when it is constructed as one shard of a sharded run.  It
+carries the ownership map plus the two per-round journals the shard
+runtime drains:
+
+* ``outbox`` -- seam exports appended by boundary links and the
+  out-of-band export hook, as ``(arrival_time, kind, from_node, to_node,
+  payload, size_bits, sender)`` tuples in local execution order;
+* ``delivery_log`` -- every local delivery as ``(time, node_id, event_id,
+  recovered)``.  Sharded runs journal deliveries instead of applying them
+  because per-event latency sums are order-sensitive float accumulations:
+  the merge replays all shards' journals in global (time, shard) order to
+  reproduce the serial tracker bit for bit.
+
+This module is a leaf (no repro imports beyond the stdlib) so the
+builder can depend on it without a cycle through the shard runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["ShardContext"]
+
+
+@dataclass
+class ShardContext:
+    """Identity and journals of one shard of a sharded run."""
+
+    #: This shard's index in ``range(shards)``.
+    index: int
+    #: ``owner[node_id]`` -> shard index, for every node of the overlay.
+    owner: Sequence[int]
+    #: ``is_local[node_id]`` -> whether this shard owns the node
+    #: (precomputed from ``owner`` for the hot paths).
+    is_local: Sequence[bool]
+    #: Seam exports accumulated since the last drain (see module docstring).
+    outbox: List[tuple] = field(default_factory=list)
+    #: Journalled local deliveries (see module docstring).
+    delivery_log: List[tuple] = field(default_factory=list)
+
+    @classmethod
+    def for_shard(cls, index: int, owner: Sequence[int]) -> "ShardContext":
+        """Build the context for shard ``index`` of an ownership map."""
+        if not 0 <= index <= max(owner):
+            raise ValueError(f"shard index {index} outside ownership map")
+        return cls(
+            index=index,
+            owner=owner,
+            is_local=[shard == index for shard in owner],
+        )

@@ -1,0 +1,91 @@
+"""Shared-service drift guard for the sharded runtime.
+
+Sharded execution replicates exactly two shared mutable services per
+shard -- the :class:`~repro.pubsub.pattern.PatternSpace` and
+:class:`~repro.pubsub.event.EventIdRegistry` interners -- because the
+REP300 ownership analysis proved those are the *only* loop-invariant
+objects aliased into every node.  Both are representation-only (dense-id
+assignment order never reaches a :meth:`RunResult.signature`), which is
+what makes per-shard replicas safe.
+
+That proof is a contract, not a property of this package: if a future
+change introduces another shared mutable service and declares it in
+``[tool.repro-lint.ownership] shared-services``, replicating it blindly
+could corrupt a sharded run silently (diverging replicas, double-counted
+state).  The partitioner therefore asserts at startup that the declared
+contract still names exactly the services this runtime knows how to
+replicate, turning undeclared drift into a loud failure at run start
+instead of a wrong number at run end.  (REP301 separately guarantees
+that an *undeclared* shared mutable object fails the lint gate.)
+"""
+
+from __future__ import annotations
+
+import logging
+from pathlib import Path
+from typing import FrozenSet, Optional
+
+from repro.lint.config import find_pyproject, load_config
+
+__all__ = ["REPLICATED_SHARED_SERVICES", "assert_shared_service_contract"]
+
+logger = logging.getLogger(__name__)
+
+#: The shared mutable services the shard runtime replicates per shard.
+#: Must stay in lockstep with the ``[tool.repro-lint.ownership]``
+#: declaration in pyproject.toml; see the module docstring.
+REPLICATED_SHARED_SERVICES: FrozenSet[str] = frozenset(
+    {
+        "repro.pubsub.pattern.PatternSpace",
+        "repro.pubsub.event.EventIdRegistry",
+    }
+)
+
+
+def declared_shared_services(start: Optional[Path] = None) -> Optional[FrozenSet[str]]:
+    """The ``shared-services`` set declared in the nearest pyproject.toml.
+
+    Returns ``None`` when no pyproject.toml is reachable (e.g. the package
+    is imported from an installed wheel) or no TOML parser is available
+    (Python 3.10 without the tomli backport) -- in both cases the lint
+    gate, not this runtime check, is the enforcement point.
+    """
+    pyproject = find_pyproject(start if start is not None else Path(__file__))
+    if pyproject is None:
+        return None
+    try:
+        config = load_config(pyproject)
+    except RuntimeError:  # no tomllib/tomli on this interpreter
+        logger.warning(
+            "shard guard: cannot parse %s without tomllib/tomli; "
+            "skipping the shared-service contract check",
+            pyproject,
+        )
+        return None
+    return frozenset(config.ownership.shared_services)
+
+
+def assert_shared_service_contract(start: Optional[Path] = None) -> None:
+    """Fail loudly if the declared shared-service contract drifted.
+
+    Called by the partitioner before any shard is built.  A mismatch in
+    either direction is fatal: an extra declared service is one this
+    runtime does not know how to replicate; a missing one means the
+    declaration (and possibly the ownership model) changed under us.
+    """
+    declared = declared_shared_services(start)
+    if declared is None:
+        return
+    if declared != REPLICATED_SHARED_SERVICES:
+        extra = sorted(declared - REPLICATED_SHARED_SERVICES)
+        missing = sorted(REPLICATED_SHARED_SERVICES - declared)
+        raise RuntimeError(
+            "sharded execution refuses to start: the declared shared-service "
+            "contract ([tool.repro-lint.ownership] shared-services) no longer "
+            "matches the services the shard runtime replicates per shard. "
+            f"newly declared (not replicated): {extra or 'none'}; "
+            f"no longer declared: {missing or 'none'}. "
+            "Teach repro.shard how to replicate (or centralize) the new "
+            "service and update repro.shard.guard.REPLICATED_SHARED_SERVICES "
+            "in the same change."
+        )

@@ -1,0 +1,283 @@
+"""Deterministic merge of per-shard partials into one :class:`RunResult`.
+
+Replication makes the merge mostly summation: every shard's data
+structures are laid out exactly as a serial run's, with foreign nodes'
+entries idle at zero, so message counters, gossip statistics, loss
+detectors, and fault counters combine by addition.  Three things need
+more care:
+
+* **Deliveries** are journalled, not applied, during a sharded run (see
+  :class:`~repro.shard.context.ShardContext`): per-event latency sums are
+  order-sensitive float accumulations, so the merge replays every shard's
+  journal into the combined tracker in global ``(time, shard, position)``
+  order.  Within a shard the journal is already in execution order; two
+  shards' entries at *exactly* equal float times are interchangeable for
+  the tracker (equal-time contributions to the same event add the same
+  addend, different events touch disjoint records), so the shard-index
+  tie-break cannot diverge from serial.
+* **Replicated components** -- the pooled workload's tick process and the
+  fault injector's scripted callbacks -- fire on every shard by design.
+  Their engine events are counted once and the surplus subtracted from
+  ``sim_events_processed``; their statistics are asserted identical
+  across shards and taken once.
+* **Tree facts** (diameter, mean path length) are identical replicas;
+  shard 0 computes them, the others skip the O(N·diam)/O(N²) walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.faults.stats import FaultStats
+from repro.metrics.counters import MessageCounters
+from repro.metrics.delivery import DeliveryTracker
+from repro.recovery.base import GossipStats
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.results import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.builder import Simulation
+    from repro.shard.context import ShardContext
+
+__all__ = ["ShardPartial", "collect_partial", "merge_partials"]
+
+
+@dataclass
+class ShardPartial:
+    """One shard's contribution to the merged result (picklable: this is
+    exactly what a worker process ships back over its pipe)."""
+
+    index: int
+    #: Engine events this shard processed, and how many of them belong to
+    #: components replicated on every shard (pool ticks, injector
+    #: callbacks) -- identical across shards by construction.
+    events_processed: int
+    replicated_events: int
+    counters: MessageCounters
+    tracker: DeliveryTracker
+    #: Journalled local deliveries: (time, node_id, event_id, recovered).
+    delivery_log: List[tuple]
+    receiver_pair_total: int
+    gossip_stats: GossipStats
+    losses_detected: int
+    losses_recovered: int
+    losses_abandoned: int
+    events_published: int
+    down_drops: int
+    burst_transitions: int
+    burst_drops: int
+    peer_timeouts: int
+    peer_suspicions: int
+    peer_skips: int
+    #: The injector's scripted-timeline counters (replicated, asserted
+    #: equal across shards), or ``None`` without a fault plan.
+    injector_stats: Optional[Tuple[int, ...]]
+    #: Computed on shard 0 only.
+    tree_diameter: Optional[int]
+    tree_average_path_length: Optional[float]
+
+
+def collect_partial(simulation: "Simulation", context: "ShardContext") -> ShardPartial:
+    """Summarize one finished shard (mirrors ``Simulation.collect_result``
+    up to the point where cross-shard aggregation takes over)."""
+    config = simulation.config
+    gossip_stats = GossipStats()
+    losses_detected = losses_recovered = losses_abandoned = 0
+    peer_timeouts = peer_suspicions = peer_skips = 0
+    for recovery in simulation.recoveries:
+        gossip_stats.merge(recovery.stats)
+        detector = getattr(recovery, "detector", None)
+        if detector is not None:
+            losses_detected += detector.detected
+            losses_recovered += detector.recovered
+            losses_abandoned += detector.abandoned
+        peers = recovery.peers
+        if peers is not None:
+            peer_timeouts += peers.timeouts
+            peer_suspicions += peers.suspicions
+            peer_skips += peers.skips
+
+    burst_transitions = burst_drops = 0
+    factory = simulation._link_loss_factory
+    if factory is not None:
+        # Per-edge discipline (required whenever loss is active sharded):
+        # a direction's model advances only on its sender's owner shard,
+        # foreign replicas stay at zero, so shard sums count each
+        # direction exactly once.
+        burst_transitions = factory.transitions
+        burst_drops = factory.drops
+
+    injector = simulation.fault_injector
+    injector_stats: Optional[Tuple[int, ...]] = None
+    replicated_events = 0
+    if injector is not None:
+        injector_stats = (
+            injector.stats.crashes,
+            injector.stats.crashes_skipped,
+            injector.stats.restarts,
+            injector.stats.partitions,
+            injector.stats.partition_links_cut,
+            injector.stats.heals,
+            injector.stats.heal_links_restored,
+        )
+        replicated_events += injector.callbacks
+    if config.workload_model == "aggregate":
+        replicated_events += simulation.publishers[0].ticks
+
+    first_shard = context.index == 0
+    return ShardPartial(
+        index=context.index,
+        events_processed=simulation.sim.events_processed,
+        replicated_events=replicated_events,
+        counters=simulation.counters,
+        tracker=simulation.tracker,
+        delivery_log=context.delivery_log,
+        receiver_pair_total=simulation._receiver_pair_total,
+        gossip_stats=gossip_stats,
+        losses_detected=losses_detected,
+        losses_recovered=losses_recovered,
+        losses_abandoned=losses_abandoned,
+        events_published=sum(p.published for p in simulation.publishers),
+        down_drops=simulation.network.down_drops,
+        burst_transitions=burst_transitions,
+        burst_drops=burst_drops,
+        peer_timeouts=peer_timeouts,
+        peer_suspicions=peer_suspicions,
+        peer_skips=peer_skips,
+        injector_stats=injector_stats,
+        tree_diameter=simulation.tree.diameter() if first_shard else None,
+        tree_average_path_length=(
+            (
+                simulation.tree.average_path_length()
+                if config.n_dispatchers <= 2000
+                else simulation.tree.approx_average_path_length()
+            )
+            if first_shard
+            else None
+        ),
+    )
+
+
+def merge_partials(
+    config: SimulationConfig,
+    partials: Sequence[ShardPartial],
+    wall_clock_seconds: float,
+) -> RunResult:
+    """Combine per-shard partials into the serial run's exact result.
+
+    Consumes shard 0's counters and tracker in place.  ``wall_clock_seconds``
+    is the runner's end-to-end wall time (reporting only; excluded from
+    :meth:`RunResult.signature` like the serial field it replaces).
+    """
+    if not partials:
+        raise ValueError("merge_partials needs at least one partial")
+    ordered = sorted(partials, key=lambda p: p.index)
+    if [p.index for p in ordered] != list(range(len(ordered))):
+        raise ValueError(
+            f"partial set is not shards 0..{len(ordered) - 1}: "
+            f"{[p.index for p in ordered]}"
+        )
+    base = ordered[0]
+    for partial in ordered[1:]:
+        # Replicated components must have replayed the identical script on
+        # every shard; a mismatch means replicas diverged (a determinism
+        # bug, never a tolerable condition).
+        if partial.replicated_events != base.replicated_events:
+            raise RuntimeError(
+                "shard replicas diverged: replicated event counts "
+                f"{base.replicated_events} (shard 0) vs "
+                f"{partial.replicated_events} (shard {partial.index})"
+            )
+        if partial.injector_stats != base.injector_stats:
+            raise RuntimeError(
+                "shard replicas diverged: fault-injector stats "
+                f"{base.injector_stats} (shard 0) vs "
+                f"{partial.injector_stats} (shard {partial.index})"
+            )
+
+    counters = base.counters
+    tracker = base.tracker
+    for partial in ordered[1:]:
+        counters.absorb(partial.counters)
+        tracker.absorb(partial.tracker)
+    # Restore the serial record iteration order (stats() accumulates
+    # per-event float sums in it).
+    tracker.sort_records()
+
+    # Replay the global delivery sequence (see module docstring).
+    entries: List[tuple] = []
+    for partial in ordered:
+        entries.extend(
+            (time, partial.index, position, node_id, event_id, recovered)
+            for position, (time, node_id, event_id, recovered) in enumerate(
+                partial.delivery_log
+            )
+        )
+    entries.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+    replay = tracker.replay_delivery
+    for time, _shard, _position, node_id, event_id, recovered in entries:
+        replay(node_id, event_id, recovered, time)
+
+    gossip_stats = GossipStats()
+    for partial in ordered:
+        gossip_stats.merge(partial.gossip_stats)
+
+    faults = FaultStats()
+    if base.injector_stats is not None:
+        (
+            faults.crashes,
+            faults.crashes_skipped,
+            faults.restarts,
+            faults.partitions,
+            faults.partition_links_cut,
+            faults.heals,
+            faults.heal_links_restored,
+        ) = base.injector_stats
+    faults.down_node_drops = sum(p.down_drops for p in ordered)
+    faults.burst_transitions = sum(p.burst_transitions for p in ordered)
+    faults.burst_drops = sum(p.burst_drops for p in ordered)
+    faults.peer_timeouts = sum(p.peer_timeouts for p in ordered)
+    faults.peer_suspicions = sum(p.peer_suspicions for p in ordered)
+    faults.peer_skips = sum(p.peer_skips for p in ordered)
+
+    receiver_pair_total = sum(p.receiver_pair_total for p in ordered)
+    receivers_per_event = (
+        receiver_pair_total / tracker.event_count()
+        if tracker.event_count()
+        else 0.0
+    )
+    events_processed = sum(p.events_processed for p in ordered) - (
+        len(ordered) - 1
+    ) * base.replicated_events
+
+    return RunResult(
+        config=config,
+        delivery=tracker.stats(config.measure_start, config.effective_measure_end),
+        delivery_full=tracker.stats(),
+        series=tracker.time_series(
+            config.bin_width, 0.0, config.sim_time, include_recovery=True
+        ),
+        series_baseline=tracker.time_series(
+            config.bin_width, 0.0, config.sim_time, include_recovery=False
+        ),
+        messages=counters.snapshot(),
+        gossip_per_dispatcher=counters.gossip_per_dispatcher(),
+        gossip_event_ratio=counters.gossip_event_ratio(),
+        oob_messages=counters.oob_messages,
+        recovery_load_skew=counters.recovery_load_skew(),
+        gossip_stats=gossip_stats,
+        losses_detected=sum(p.losses_detected for p in ordered),
+        losses_recovered=sum(p.losses_recovered for p in ordered),
+        losses_abandoned=sum(p.losses_abandoned for p in ordered),
+        receivers_per_event=receivers_per_event,
+        tree_diameter=base.tree_diameter,
+        tree_average_path_length=base.tree_average_path_length,
+        reconfigurations=0,
+        events_published=sum(p.events_published for p in ordered),
+        sim_events_processed=events_processed,
+        wall_clock_seconds=wall_clock_seconds,
+        unexpected_deliveries=tracker.unexpected_deliveries,
+        duplicate_deliveries=tracker.duplicate_deliveries,
+        faults=faults,
+    )

@@ -1,0 +1,381 @@
+"""The sharded run: partition, synchronize, merge.
+
+One simulation is split into ``config.shards`` partitions, each a full
+replica filtered to its owned nodes (:mod:`repro.shard.worker`), and
+advanced in rounds under a **conservative lookahead** protocol:
+
+* The lookahead ``L`` is the smallest latency any cross-shard interaction
+  can have: ``min(propagation_delay, oob_latency)``.  Config validation
+  guarantees ``L > 0``.
+* Each round, the earliest pending event time ``t_min`` across all shards
+  (including not-yet-injected seam imports) bounds the next horizon at
+  ``t_min + L``.  No shard can cause an effect on another before that
+  horizon, so every shard may safely run all events *strictly before* it.
+* Seam exports drained after a round all have arrival times at or beyond
+  the horizon (link arrivals add serialization + propagation >= L; out-of-
+  band arrivals add ``oob_latency`` >= L), so injecting them next round
+  never schedules into a receiver's past -- the strict no-rollback
+  invariant of the engine is preserved by construction.
+* When the next horizon passes ``sim_time`` the final round runs
+  *inclusive* to ``sim_time`` (events at exactly ``sim_time`` fire, as in
+  serial) and its exports are dropped: they would arrive strictly after
+  ``sim_time``, where the serial run schedules but never fires them.
+
+Two backends drive the same round protocol.  With one worker process
+(including the capped 1-CPU case) every shard is stepped in the parent --
+the deterministic reference.  With more, shards are dealt round-robin
+onto worker processes that each host a group of full shard replicas and
+speak a small pipe protocol; everything crossing the pipe (configs,
+export tuples, :class:`~repro.shard.merge.ShardPartial`) is picklable, so
+the backend works under both fork and spawn start methods.  Results are
+byte-identical across backends and worker counts by construction: the
+round schedule depends only on event times, never on process placement.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import multiprocessing
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.executor import resolve_shard_workers
+from repro.scenarios.builder import Simulation
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.results import RunResult
+from repro.shard.merge import ShardPartial, merge_partials
+from repro.shard.partition import PartitionPlan, partition_overlay
+from repro.shard.worker import ShardWorker
+from repro.sim.rng import RandomStreams
+from repro.topology.generator import build_tree
+from repro.topology.tree import Tree
+
+__all__ = ["ShardedRunner", "run_sharded"]
+
+_log = logging.getLogger(__name__)
+
+
+def _build_overlay(config: SimulationConfig) -> Tree:
+    """Build the overlay exactly as ``Simulation.__init__`` would (same
+    stream, same draws), so the partitioner and every replica agree."""
+    return build_tree(
+        config.tree_style,
+        config.n_dispatchers,
+        RandomStreams(config.seed).stream("topology"),
+        config.max_degree,
+        graph_attach=config.graph_attach,
+        graph_neighbors=config.graph_neighbors,
+        graph_rewire=config.graph_rewire,
+    )
+
+
+class _InProcessGroup:
+    """A group of shard replicas stepped synchronously in this process.
+
+    The ``begin_* / finish_*`` split mirrors the pipe-backed group so the
+    runner can overlap process groups; here ``begin`` just parks the
+    request and ``finish`` executes it.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        owner: Sequence[int],
+        indices: Sequence[int],
+        tree: Optional[Tree],
+    ) -> None:
+        self.indices = list(indices)
+        self._workers = [
+            ShardWorker(config, owner, index, tree=tree) for index in self.indices
+        ]
+        self._request: Optional[tuple] = None
+
+    def begin_poll(self) -> None:
+        self._request = ("poll",)
+
+    def finish_poll(self) -> List[Optional[float]]:
+        self._request = None
+        return [worker.peek() for worker in self._workers]
+
+    def begin_step(
+        self, target: float, inclusive: bool, imports: Sequence[Sequence[tuple]]
+    ) -> None:
+        self._request = (target, inclusive, imports)
+
+    def finish_step(self) -> Tuple[List[List[tuple]], List[Optional[float]]]:
+        target, inclusive, imports = self._request
+        self._request = None
+        exports: List[List[tuple]] = []
+        peeks: List[Optional[float]] = []
+        for worker, batch in zip(self._workers, imports):
+            if batch:
+                worker.inject(batch)
+            worker.run_until(target, inclusive)
+            exports.append(worker.drain_outbox())
+            peeks.append(worker.peek())
+        return exports, peeks
+
+    def begin_collect(self) -> None:
+        self._request = ("collect",)
+
+    def finish_collect(self) -> List[ShardPartial]:
+        self._request = None
+        return [worker.collect() for worker in self._workers]
+
+    def close(self) -> None:
+        pass
+
+
+def _group_main(conn, config: SimulationConfig, owner, indices) -> None:
+    """Worker-process entry point: host a shard group behind a pipe.
+
+    Module-level (and all arguments picklable) so the spawn start method
+    can import and call it.  Any exception is reported back as an
+    ``("error", traceback)`` reply; the parent raises and tears the run
+    down.
+    """
+    try:
+        tree = _build_overlay(config)
+        group = _InProcessGroup(config, owner, indices, tree)
+        while True:
+            request = conn.recv()
+            op = request[0]
+            if op == "poll":
+                group.begin_poll()
+                conn.send(("ok", group.finish_poll()))
+            elif op == "step":
+                group.begin_step(request[1], request[2], request[3])
+                conn.send(("ok", group.finish_step()))
+            elif op == "collect":
+                group.begin_collect()
+                conn.send(("ok", group.finish_collect()))
+            else:  # "stop"
+                break
+    except EOFError:  # pragma: no cover - parent died; nothing to report to
+        pass
+    except Exception:  # noqa: BLE001 - report, then die
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessGroup:
+    """A shard group hosted in a worker process, driven over a pipe."""
+
+    def __init__(self, ctx, config: SimulationConfig, owner, indices) -> None:
+        self.indices = list(indices)
+        self._conn, child_conn = ctx.Pipe()
+        self._process = ctx.Process(
+            target=_group_main,
+            args=(child_conn, config, owner, self.indices),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+
+    def _receive(self):
+        try:
+            status, payload = self._conn.recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard worker process for shards {self.indices} died "
+                "without reporting an error (killed or crashed hard)"
+            ) from None
+        if status == "error":
+            raise RuntimeError(
+                f"shard worker process for shards {self.indices} failed:\n"
+                f"{payload}"
+            )
+        return payload
+
+    def begin_poll(self) -> None:
+        self._conn.send(("poll",))
+
+    def finish_poll(self) -> List[Optional[float]]:
+        return self._receive()
+
+    def begin_step(
+        self, target: float, inclusive: bool, imports: Sequence[Sequence[tuple]]
+    ) -> None:
+        self._conn.send(("step", target, inclusive, imports))
+
+    def finish_step(self) -> Tuple[List[List[tuple]], List[Optional[float]]]:
+        return self._receive()
+
+    def begin_collect(self) -> None:
+        self._conn.send(("collect",))
+
+    def finish_collect(self) -> List[ShardPartial]:
+        return self._receive()
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._process.join(timeout=10.0)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join()
+
+
+class ShardedRunner:
+    """Partition, run, and merge one sharded simulation.
+
+    Parameters
+    ----------
+    config:
+        Must have ``shards >= 2`` (``run_sharded`` handles the trivial
+        case) and pass the shardability validation it already ran in
+        ``__post_init__``.
+    workers:
+        Worker-process count override.  ``None`` (default) resolves via
+        :func:`repro.parallel.executor.resolve_shard_workers`: one process
+        per shard, capped at the host's core count with a logged note.
+        ``1`` steps every shard in the calling process (the deterministic
+        reference backend, and the only sensible choice on a 1-CPU host).
+        Tests force ``workers=2`` on any host to prove the pipe backend is
+        byte-identical to the in-process one.
+
+    After :meth:`run`, ``plan`` holds the :class:`PartitionPlan` and
+    ``rounds`` / ``seam_messages`` the synchronization effort -- reporting
+    only, never part of the result.
+    """
+
+    def __init__(
+        self, config: SimulationConfig, workers: Optional[int] = None
+    ) -> None:
+        if config.shards < 2:
+            raise ValueError("ShardedRunner needs shards >= 2; use run_sharded")
+        self.config = config
+        self._workers = workers
+        self.plan: Optional[PartitionPlan] = None
+        self.rounds = 0
+        self.seam_messages = 0
+
+    def run(self) -> RunResult:
+        config = self.config
+        # Wall clock is reporting-only (the serial field it replaces is
+        # excluded from signatures the same way).
+        wall_start = time.perf_counter()  # repro-lint: disable=REP002
+        tree = _build_overlay(config)
+        plan = partition_overlay(tree, config.shards)
+        self.plan = plan
+        shards = config.shards
+        if self._workers is None:
+            worker_count = resolve_shard_workers(shards)
+        else:
+            worker_count = max(1, min(self._workers, shards))
+        group_indices = [
+            [index for index in range(shards) if index % worker_count == position]
+            for position in range(worker_count)
+        ]
+        groups: List = []
+        try:
+            if worker_count == 1:
+                groups.append(_InProcessGroup(config, plan.owner, group_indices[0], tree))
+            else:
+                ctx = multiprocessing.get_context()
+                groups.extend(
+                    _ProcessGroup(ctx, config, plan.owner, indices)
+                    for indices in group_indices
+                )
+            partials = self._synchronize(groups)
+        finally:
+            for group in groups:
+                group.close()
+        wall = time.perf_counter() - wall_start  # repro-lint: disable=REP002
+        return merge_partials(config, partials, wall)
+
+    # ------------------------------------------------------------------
+    def _synchronize(self, groups: List) -> List[ShardPartial]:
+        config = self.config
+        owner = self.plan.owner
+        sim_time = config.sim_time
+        lookahead = min(config.propagation_delay, config.oob_latency)
+        for group in groups:
+            group.begin_poll()
+        peeks: Dict[int, Optional[float]] = {}
+        for group in groups:
+            for index, peek in zip(group.indices, group.finish_poll()):
+                peeks[index] = peek
+        # Exports routed but not yet injected, per destination shard, as
+        # (arrival, source_shard, export_position, export_tuple).
+        pending: Dict[int, List[tuple]] = {index: [] for index in range(config.shards)}
+        while True:
+            candidates = [peek for peek in peeks.values() if peek is not None]
+            candidates.extend(
+                entry[0] for entries in pending.values() for entry in entries
+            )
+            if not candidates or min(candidates) > sim_time:
+                final, target = True, sim_time
+            else:
+                t_min = min(candidates)
+                horizon = t_min + lookahead
+                if horizon <= t_min:  # pragma: no cover - float underflow guard
+                    horizon = math.nextafter(t_min, math.inf)
+                if horizon > sim_time:
+                    final, target = True, sim_time
+                else:
+                    final, target = False, horizon
+            for group in groups:
+                batch: List[List[tuple]] = []
+                for index in group.indices:
+                    entries = pending[index]
+                    if entries:
+                        # Deterministic global import order; equal-time
+                        # entries from different shards are interchangeable
+                        # for the tracker (see repro.shard.merge).
+                        entries.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+                        batch.append([entry[3] for entry in entries])
+                        pending[index] = []
+                    else:
+                        batch.append([])
+                group.begin_step(target, final, batch)
+            results = [group.finish_step() for group in groups]
+            self.rounds += 1
+            if final:
+                # Final-round exports all arrive strictly after sim_time
+                # (every final-round event is later than sim_time - L);
+                # serial schedules but never fires them, so they drop.
+                break
+            for group, (exports_by_shard, peeks_by_shard) in zip(groups, results):
+                for index, exports, peek in zip(
+                    group.indices, exports_by_shard, peeks_by_shard
+                ):
+                    peeks[index] = peek
+                    for position, export in enumerate(exports):
+                        pending[owner[export[3]]].append(
+                            (export[0], index, position, export)
+                        )
+                        self.seam_messages += 1
+        for group in groups:
+            group.begin_collect()
+        partials: List[ShardPartial] = []
+        for group in groups:
+            partials.extend(group.finish_collect())
+        return partials
+
+
+def run_sharded(
+    config: SimulationConfig, workers: Optional[int] = None
+) -> RunResult:
+    """Run one scenario, sharded per ``config.shards``.
+
+    ``shards=1`` falls through to the plain serial simulation; any other
+    count goes through :class:`ShardedRunner`.  Either way the result's
+    :meth:`~repro.scenarios.results.RunResult.signature` is byte-identical
+    to the serial run's.
+    """
+    if config.shards == 1:
+        return Simulation(config).run()
+    return ShardedRunner(config, workers=workers).run()

@@ -1,0 +1,121 @@
+"""Unit tests for the sharded runtime's supporting pieces."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.metrics.delivery import DeliveryTracker
+from repro.parallel import executor
+from repro.parallel.executor import resolve_shard_workers
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.experiments import shardify
+from repro.scenarios.serialize import config_digest
+from repro.shard.merge import merge_partials
+
+
+class _FakeEvent:
+    """on_publish only touches event_id and publish_time."""
+
+    __slots__ = ("event_id", "publish_time")
+
+    def __init__(self, event_id, publish_time):
+        self.event_id = event_id
+        self.publish_time = publish_time
+
+
+class TestResolveShardWorkers:
+    def test_fits_within_cpus(self, monkeypatch):
+        monkeypatch.setattr(executor.os, "cpu_count", lambda: 8)
+        assert resolve_shard_workers(4) == 4
+
+    def test_caps_at_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(executor.os, "cpu_count", lambda: 2)
+        monkeypatch.setattr(executor, "_shard_cap_logged", False)
+        assert resolve_shard_workers(8) == 2
+
+    def test_cap_logs_once(self, monkeypatch, caplog):
+        monkeypatch.setattr(executor.os, "cpu_count", lambda: 2)
+        monkeypatch.setattr(executor, "_shard_cap_logged", False)
+        with caplog.at_level(logging.INFO, logger="repro.parallel.executor"):
+            resolve_shard_workers(8)
+            resolve_shard_workers(16)
+        capped = [r for r in caplog.records if "exceeds" in r.getMessage()]
+        assert len(capped) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_shard_workers(0)
+
+
+class TestConfigDigest:
+    def test_shards_excluded_from_digest(self):
+        # The shardable variant (per-edge loss) of a cell keeps its digest
+        # across shard counts -- campaign journals reuse the cell.
+        config = SimulationConfig(loss_discipline="per-edge")
+        assert config_digest(config) == config_digest(config.replace(shards=4))
+
+    def test_other_fields_still_matter(self):
+        config = SimulationConfig()
+        assert config_digest(config) != config_digest(config.replace(seed=43))
+
+
+class TestShardify:
+    def test_switches_loss_discipline(self):
+        config = SimulationConfig(error_rate=0.1)
+        sharded = shardify(config, 4)
+        assert sharded.shards == 4
+        assert sharded.loss_discipline == "per-edge"
+
+    def test_lossless_keeps_discipline(self):
+        config = SimulationConfig(error_rate=0.0)
+        assert shardify(config, 2).loss_discipline == config.loss_discipline
+
+    def test_unshardable_cell_falls_back_to_serial(self):
+        config = SimulationConfig(error_rate=0.0, reconfiguration_interval=0.2)
+        assert shardify(config, 4) is config
+
+    def test_serial_request_is_identity(self):
+        config = SimulationConfig()
+        assert shardify(config, 1) is config
+
+
+class TestDeliveryTrackerMerge:
+    def _tracker_with(self, events):
+        tracker = DeliveryTracker()
+        for event_id, publish_time in events:
+            tracker.on_publish(_FakeEvent(event_id, publish_time), {1, 2})
+        return tracker
+
+    def test_absorb_rejects_overlap(self):
+        a = self._tracker_with([((0, 1), 0.1)])
+        b = self._tracker_with([((0, 1), 0.2)])
+        with pytest.raises(ValueError, match="two shards"):
+            a.absorb(b)
+
+    def test_absorb_rejects_layout_mismatch(self):
+        compact = DeliveryTracker(compact=True)
+        with pytest.raises(ValueError, match="layout"):
+            self._tracker_with([]).absorb(compact)
+
+    def test_sort_records_restores_publish_order(self):
+        a = self._tracker_with([((0, 1), 0.5), ((0, 2), 0.9)])
+        b = self._tracker_with([((1, 1), 0.2), ((1, 2), 0.7)])
+        a.absorb(b)
+        a.sort_records()
+        times = [record.publish_time for record in a._records.values()]
+        assert times == sorted(times)
+
+    def test_replay_matches_on_deliver(self):
+        direct = self._tracker_with([((0, 1), 0.1)])
+        replayed = self._tracker_with([((0, 1), 0.1)])
+        direct.on_deliver(1, _FakeEvent((0, 1), 0.1), True, 0.4)
+        replayed.replay_delivery(1, (0, 1), True, 0.4)
+        assert direct.stats() == replayed.stats()
+
+
+class TestMergePartials:
+    def test_requires_partials(self):
+        with pytest.raises(ValueError):
+            merge_partials(SimulationConfig(), [], 0.0)

@@ -1,0 +1,165 @@
+"""Byte-identity of sharded and serial execution.
+
+The sharded runtime's whole contract is ``RunResult.signature()``
+equality with the serial run -- not statistical closeness: same seed,
+same config, any shard count, the same bytes.  These tests sweep the
+contract across topologies, all four shardable recovery algorithms, a
+compound fault plan (scripted crashes + Gilbert-Elliott link loss on top
+of Bernoulli lossy links), both execution backends, and the compact
+large-N substrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.loss import GilbertElliottConfig
+from repro.faults.plan import CrashEvent, FaultPlan
+from repro.scenarios.config import SimulationConfig
+from repro.scenarios.runner import run_scenario
+from repro.shard.runner import ShardedRunner, run_sharded
+
+ALGORITHMS = ["push", "subscriber-pull", "publisher-pull", "combined-pull"]
+TOPOLOGIES = ["bushy", "scale-free", "small-world"]
+
+#: Crashes (one transient, one crash-stop) plus bursty link loss layered
+#: over the Bernoulli ``error_rate`` -- the compound case exercises the
+#: fault injector's replicated timeline, per-direction loss models, and
+#: journalled recovered deliveries all at once.
+COMPOUND_PLAN = FaultPlan(
+    crashes=(CrashEvent(3, at=0.5, duration=0.6), CrashEvent(7, at=0.8)),
+    link_loss=GilbertElliottConfig(p_good_bad=0.05, p_bad_good=0.3),
+)
+
+
+def _config(algorithm: str, topology: str) -> SimulationConfig:
+    return SimulationConfig(
+        n_dispatchers=16,
+        n_patterns=12,
+        pi_max=3,
+        publish_rate=30.0,
+        sim_time=1.5,
+        measure_start=0.3,
+        measure_end=1.2,
+        buffer_size=120,
+        error_rate=0.1,
+        loss_discipline="per-edge",
+        algorithm=algorithm,
+        tree_style=topology,
+        faults=COMPOUND_PLAN,
+        seed=11,
+    )
+
+
+class TestSignatureIdentity:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_shard_counts_agree(self, algorithm, topology):
+        config = _config(algorithm, topology)
+        serial = run_scenario(config)
+        assert serial.events_published > 0
+        # The plan actually bites: bursty drops occurred and both scripted
+        # crashes fired.  (losses_detected stays 0 for push, which has no
+        # reactive detector.)
+        assert serial.faults.burst_drops > 0
+        assert serial.faults.crashes == 2
+        for shards in (2, 4):
+            sharded = run_scenario(config.replace(shards=shards))
+            assert sharded.signature() == serial.signature(), (
+                f"{algorithm}/{topology} diverged at shards={shards}"
+            )
+
+    def test_lossless_run(self):
+        config = SimulationConfig(
+            n_dispatchers=20,
+            n_patterns=12,
+            publish_rate=20.0,
+            sim_time=1.5,
+            measure_start=0.3,
+            error_rate=0.0,
+            algorithm="push",
+            seed=5,
+        )
+        serial = run_scenario(config)
+        assert run_scenario(config.replace(shards=3)).signature() == (
+            serial.signature()
+        )
+
+    def test_process_backend_matches_in_process(self):
+        # workers < shards forces the multi-shard-per-process grouping;
+        # the runner's default on a 1-CPU host is the in-process group.
+        config = _config("combined-pull", "bushy").replace(shards=4)
+        serial = run_scenario(config.replace(shards=1))
+        piped = ShardedRunner(config, workers=2).run()
+        assert piped.signature() == serial.signature()
+
+    def test_aggregate_compact_substrate(self):
+        # N over the compact-layout threshold rides the columnar cache,
+        # bitmap tracker, and pooled workload -- the scale-out substrate
+        # the 100k bench cell uses.
+        config = SimulationConfig(
+            n_dispatchers=1000,
+            n_patterns=70,
+            pi_max=2,
+            publish_rate=0.2,
+            sim_time=1.5,
+            measure_start=0.3,
+            measure_end=1.2,
+            buffer_size=32,
+            gossip_interval=0.1,
+            error_rate=0.05,
+            loss_discipline="per-edge",
+            algorithm="combined-pull",
+            tree_style="scale-free",
+            workload_model="aggregate",
+            seed=1,
+        )
+        serial = run_scenario(config)
+        sharded = run_scenario(config.replace(shards=4))
+        assert sharded.signature() == serial.signature()
+
+    def test_wall_clock_and_shards_are_outside_the_signature(self):
+        config = _config("push", "bushy")
+        serial = run_scenario(config)
+        sharded = run_scenario(config.replace(shards=2))
+        # Config equality ignores the shards field (compare=False) so the
+        # merged result compares equal to the serial one wholesale.
+        assert sharded.config == serial.config
+
+
+class TestRunnerSurface:
+    def test_run_sharded_serial_fast_path(self):
+        config = _config("push", "bushy")
+        assert run_sharded(config).signature() == run_scenario(config).signature()
+
+    def test_sharded_runner_rejects_serial_config(self):
+        with pytest.raises(ValueError):
+            ShardedRunner(_config("push", "bushy"))
+
+    def test_runner_exposes_plan_and_seam_traffic(self):
+        config = _config("push", "bushy").replace(shards=2)
+        runner = ShardedRunner(config)
+        result = runner.run()
+        assert runner.plan is not None
+        assert runner.plan.shards == 2
+        assert runner.rounds > 0
+        assert runner.seam_messages > 0  # cut links really carried traffic
+        assert result.signature() == run_scenario(config.replace(shards=1)).signature()
+
+
+class TestConfigValidation:
+    def test_unshardable_features_rejected(self):
+        base = _config("push", "bushy")
+        with pytest.raises(ValueError, match="per-edge"):
+            base.replace(shards=2, loss_discipline="shared")
+        with pytest.raises(ValueError, match="serial"):
+            base.replace(
+                shards=2,
+                error_rate=0.0,
+                faults=None,
+                algorithm="gossip-dissemination",
+            )
+        with pytest.raises(ValueError, match="reconfiguration"):
+            base.replace(
+                shards=2, error_rate=0.0, faults=None, reconfiguration_interval=0.2
+            )

@@ -1,0 +1,113 @@
+"""Partitioner and shared-service guard tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard import guard
+from repro.shard.partition import PartitionPlan, cut_edges_for, partition_overlay
+from repro.sim.rng import RandomStreams
+from repro.topology.generator import build_tree
+
+
+def _tree(n: int, style: str = "bushy", seed: int = 7):
+    return build_tree(style, n, RandomStreams(seed).stream("topology"))
+
+
+class TestPartitionOverlay:
+    @pytest.mark.parametrize("style", ["bushy", "scale-free", "small-world"])
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_balance_band(self, style, shards):
+        n = 120
+        plan = partition_overlay(_tree(n, style), shards)
+        assert sum(plan.sizes) == n
+        ideal = n / shards
+        for size in plan.sizes:
+            assert size >= int(ideal * 0.9) - 1
+            assert size <= int(ideal * 1.1) + 2
+
+    def test_owner_covers_every_node(self):
+        plan = partition_overlay(_tree(60), 3)
+        assert len(plan.owner) == 60
+        assert set(plan.owner) == {0, 1, 2}
+
+    def test_cut_edges_are_exactly_the_crossing_links(self):
+        tree = _tree(80, "scale-free")
+        plan = partition_overlay(tree, 4)
+        expected = {
+            edge
+            for edge in tree.edges
+            if plan.owner[edge[0]] != plan.owner[edge[1]]
+        }
+        assert set(plan.cut_edges) == expected
+        assert plan.total_edges == len(tree.edges)
+        # Trees minus cut edges split into >= shards pieces, so a k-way
+        # split of a connected overlay must cut at least k-1 links.
+        assert len(plan.cut_edges) >= plan.shards - 1
+
+    def test_deterministic(self):
+        tree = _tree(100, "small-world")
+        assert partition_overlay(tree, 4) == partition_overlay(tree, 4)
+
+    def test_single_shard_fast_path(self):
+        plan = partition_overlay(_tree(10), 1)
+        assert plan.owner == (0,) * 10
+        assert plan.cut_edges == ()
+
+    def test_tree_cut_is_near_minimal(self):
+        # On a tree, k-1 cut edges is optimal; BFS blocks + refinement
+        # should stay within a small constant of that.
+        plan = partition_overlay(_tree(200, "bushy"), 4)
+        assert len(plan.cut_edges) <= 12
+
+    def test_rejects_bad_shard_counts(self):
+        tree = _tree(8)
+        with pytest.raises(ValueError):
+            partition_overlay(tree, 0)
+        with pytest.raises(ValueError):
+            partition_overlay(tree, 9)
+
+    def test_report_shape(self):
+        report = partition_overlay(_tree(40), 2).report()
+        assert report["shards"] == 2
+        assert report["nodes"] == 40
+        assert sum(report["sizes"]) == 40
+        assert report["cut_edges"] <= report["total_edges"]
+        assert 0.0 < report["cut_fraction"] < 1.0
+
+
+class TestCutEdgesFor:
+    def test_matches_plan(self):
+        tree = _tree(50, "scale-free")
+        plan = partition_overlay(tree, 3)
+        assert sorted(cut_edges_for(plan.owner, tree.edges)) == sorted(
+            plan.cut_edges
+        )
+
+    def test_empty_when_one_owner(self):
+        assert cut_edges_for([0, 0, 0], [(0, 1), (1, 2)]) == []
+
+
+class TestSharedServiceGuard:
+    def test_repo_contract_is_in_sync(self):
+        # The declaration in pyproject.toml must name exactly the services
+        # the runtime replicates; drift fails every sharded run at start.
+        guard.assert_shared_service_contract()
+
+    def test_drift_is_fatal(self, monkeypatch):
+        monkeypatch.setattr(
+            guard,
+            "REPLICATED_SHARED_SERVICES",
+            frozenset({"repro.pubsub.pattern.PatternSpace"}),
+        )
+        with pytest.raises(RuntimeError, match="shared-service"):
+            guard.assert_shared_service_contract()
+
+    def test_partitioner_runs_the_guard(self, monkeypatch):
+        monkeypatch.setattr(guard, "REPLICATED_SHARED_SERVICES", frozenset())
+        with pytest.raises(RuntimeError, match="shared-service"):
+            partition_overlay(_tree(10), 2)
+
+    def test_missing_pyproject_skips_quietly(self, tmp_path):
+        assert guard.declared_shared_services(tmp_path) is None
+        guard.assert_shared_service_contract(tmp_path)
